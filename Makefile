@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench figures figures-paper examples fuzz
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper at moderate sizes.
+figures:
+	go run ./cmd/benchsuite -scale default all
+
+# Publication sizes (hours on small machines).
+figures-paper:
+	go run ./cmd/benchsuite -scale paper all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/approxmatch
+	go run ./examples/genomes
+	go run ./examples/timeseries
+	go run ./examples/fuzzysearch
+
+# Short fuzzing passes over the three fuzz targets.
+fuzz:
+	go test -fuzz FuzzKernelAgreement -fuzztime 30s ./internal/combing
+	go test -fuzz FuzzBinaryScore -fuzztime 30s ./internal/bitlcs
+	go test -fuzz FuzzMultiply -fuzztime 30s ./internal/steadyant

@@ -1,0 +1,202 @@
+// Benchsuite regenerates every table and figure of the evaluation
+// section of Mishin, Berezun, Tiskin, "Efficient Parallel Algorithms for
+// String Comparison" (ICPP 2021). Each subcommand reproduces one figure;
+// "all" runs the entire suite. See DESIGN.md for the experiment index
+// and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	benchsuite [flags] fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9a|fig9b|fig9cd|fig9e|all
+//
+// Flags:
+//
+//	-scale quick|default|paper   problem sizes (paper = the sizes used in
+//	                             the publication; expect long runtimes)
+//	-csv                         emit CSV instead of aligned tables
+//	-seed N                      base RNG seed
+//	-reps N                      timing repetitions (min is reported)
+//	-maxthreads N                largest worker count in thread sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"semilocal/internal/benchkit"
+	"semilocal/internal/steadyant"
+)
+
+type cfg struct {
+	scale      string
+	csv        bool
+	outDir     string
+	seed       int64
+	reps       int
+	maxThreads int
+
+	permSizes []int // fig4a braid multiplication sizes
+	permBig   int   // fig4b parallel multiplication size
+	combLens  []int // fig4c / fig5 combing lengths
+	hybLens   []int // fig6 hybrid threshold lengths
+	threadLen int   // fig7/fig8 input length
+	binLen    int   // fig9a-d binary length
+	bin9eLen  int   // fig9e comparison length (combing-bound)
+}
+
+func newCfg(scale string, seed int64, reps, maxThreads int, csv bool) (*cfg, error) {
+	c := &cfg{scale: scale, csv: csv, seed: seed, reps: reps, maxThreads: maxThreads}
+	switch scale {
+	case "quick":
+		c.permSizes = []int{10_000, 100_000}
+		c.permBig = 200_000
+		c.combLens = []int{2_000, 5_000}
+		c.hybLens = []int{5_000, 10_000}
+		c.threadLen = 10_000
+		c.binLen = 30_000
+		c.bin9eLen = 10_000
+	case "default":
+		c.permSizes = []int{10_000, 100_000, 1_000_000}
+		c.permBig = 1_000_000
+		c.combLens = []int{2_000, 5_000, 10_000, 20_000}
+		c.hybLens = []int{10_000, 30_000}
+		c.threadLen = 30_000
+		c.binLen = 100_000
+		c.bin9eLen = 30_000
+	case "paper":
+		c.permSizes = []int{10_000, 100_000, 1_000_000, 10_000_000}
+		c.permBig = 10_000_000
+		c.combLens = []int{10_000, 30_000, 100_000}
+		c.hybLens = []int{10_000, 100_000, 1_000_000}
+		c.threadLen = 100_000
+		c.binLen = 1_000_000
+		c.bin9eLen = 1_000_000
+	default:
+		return nil, fmt.Errorf("unknown scale %q (want quick, default or paper)", scale)
+	}
+	return c, nil
+}
+
+// threads returns the worker counts swept by the thread-scaling figures.
+func (c *cfg) threads() []int {
+	out := []int{1}
+	for t := 2; t <= c.maxThreads; t *= 2 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// emit prints a finished table in the configured format, and also
+// writes it as CSV under outDir when one is configured.
+func (c *cfg) emit(title, shape string, t *benchkit.Table) {
+	if c.outDir != "" {
+		name := slug(title) + ".csv"
+		f, err := os.Create(filepath.Join(c.outDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		} else {
+			t.FprintCSV(f)
+			f.Close()
+		}
+	}
+	if c.csv {
+		fmt.Printf("# %s\n", title)
+		t.FprintCSV(os.Stdout)
+		fmt.Println()
+		return
+	}
+	fmt.Printf("=== %s ===\n", title)
+	if shape != "" {
+		fmt.Printf("paper shape: %s\n", shape)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+var figures = map[string]func(*cfg){
+	"fig4a": fig4a,
+	"fig4b": fig4b,
+	"fig4c": fig4c,
+	"fig5":  fig5,
+	"fig6":  fig6,
+	"fig7":  fig7,
+	"fig8":  fig8,
+	"fig9a": fig9a,
+	"fig9b": fig9b,
+	"fig9cd": func(c *cfg) {
+		fig9cd(c)
+	},
+	"fig9e": fig9e,
+}
+
+func figureNames() []string {
+	names := make([]string, 0, len(figures))
+	for n := range figures {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	scale := flag.String("scale", "default", "problem sizes: quick, default or paper")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	reps := flag.Int("reps", 2, "timing repetitions per measurement")
+	maxThreads := flag.Int("maxthreads", 8, "largest worker count in thread sweeps")
+	outDir := flag.String("outdir", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	c, err := newCfg(*scale, *seed, *reps, *maxThreads, *csv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(2)
+		}
+		c.outDir = *outDir
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: benchsuite [flags] %v|all\n", figureNames())
+		os.Exit(2)
+	}
+	fmt.Printf("benchsuite: %s  GOMAXPROCS=%d  NumCPU=%d  scale=%s  seed=%d  reps=%d\n\n",
+		runtime.Version(), runtime.GOMAXPROCS(0), runtime.NumCPU(), c.scale, c.seed, c.reps)
+	steadyant.WarmPrecalc()
+	for _, name := range args {
+		if name == "all" {
+			for _, f := range figureNames() {
+				figures[f](c)
+			}
+			continue
+		}
+		f, ok := figures[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchsuite: unknown figure %q (want one of %v)\n", name, figureNames())
+			os.Exit(2)
+		}
+		f(c)
+	}
+}
+
+// slug turns a table title into a file-name-safe identifier.
+func slug(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == ',':
+			b.WriteByte('_')
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}

@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+func TestNewCfgScales(t *testing.T) {
+	for _, scale := range []string{"quick", "default", "paper"} {
+		c, err := newCfg(scale, 1, 2, 8, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.permSizes) == 0 || len(c.combLens) == 0 || c.binLen == 0 {
+			t.Fatalf("%s: incomplete config %+v", scale, c)
+		}
+	}
+	if _, err := newCfg("bogus", 1, 2, 8, false); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+func TestThreadsSweep(t *testing.T) {
+	c := &cfg{maxThreads: 8}
+	got := c.threads()
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("threads() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("threads() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{
+		0:          "0",
+		7:          "7",
+		1000:       "1k",
+		30000:      "30k",
+		1000000:    "1M",
+		10000000:   "10M",
+		1234:       "1234",
+		1000000000: "1000M",
+	}
+	for n, want := range cases {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFigureRegistryComplete(t *testing.T) {
+	for _, name := range []string{"fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7",
+		"fig8", "fig9a", "fig9b", "fig9cd", "fig9e",
+		"ablate16", "ablatebase", "ablatechunk", "ablateselect"} {
+		if _, ok := figures[name]; !ok {
+			t.Errorf("figure %q not registered", name)
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Figure 4a — braid multiplication optimizations": "figure_4a__braid_multiplication_optimizations",
+		"Ablation — 16-bit vs 32-bit":                    "ablation__16_bit_vs_32_bit",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

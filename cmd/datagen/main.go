@@ -1,0 +1,60 @@
+// Datagen emits the benchmark input families of the paper's §5 to files:
+// synthetic normal-distributed integer strings, uniform strings, binary
+// strings, and simulated virus-genome families in FASTA format.
+//
+//	datagen -kind normal -n 1000000 -sigma 1 -seed 7 -out a.bin
+//	datagen -kind binary -n 1000000 -p 0.5 -out bits.bin
+//	datagen -kind genomes -count 8 -n 30000 -out viruses.fa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semilocal/internal/dataset"
+)
+
+func main() {
+	kind := flag.String("kind", "normal", "normal | uniform | binary | genomes")
+	n := flag.Int("n", 100000, "string/genome length")
+	sigma := flag.Float64("sigma", 1, "normal: standard deviation")
+	alphabet := flag.Int("alphabet", 4, "uniform: alphabet size")
+	p := flag.Float64("p", 0.5, "binary: probability of a one")
+	count := flag.Int("count", 4, "genomes: family size")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	if err := run(*kind, *n, *sigma, *alphabet, *p, *count, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n int, sigma float64, alphabet int, p float64, count int, seed int64, out string) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch kind {
+	case "normal":
+		_, err := w.Write(dataset.Normal(n, sigma, seed))
+		return err
+	case "uniform":
+		_, err := w.Write(dataset.Uniform(n, alphabet, seed))
+		return err
+	case "binary":
+		_, err := w.Write(dataset.Binary(n, p, seed))
+		return err
+	case "genomes":
+		return dataset.WriteFASTA(w, dataset.SimulateGenomes(count, n, seed))
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+}

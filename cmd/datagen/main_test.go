@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"semilocal/internal/dataset"
+)
+
+func TestRunKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		kind string
+		n    int
+	}{
+		{"normal", 500},
+		{"uniform", 500},
+		{"binary", 500},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.kind+".bin")
+		if err := run(c.kind, c.n, 1, 4, 0.5, 2, 7, out); err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != c.n {
+			t.Fatalf("%s: wrote %d bytes, want %d", c.kind, len(data), c.n)
+		}
+	}
+}
+
+func TestRunGenomes(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "v.fa")
+	if err := run("genomes", 400, 1, 4, 0.5, 3, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := dataset.ReadFASTA(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 3 {
+		t.Fatalf("got %d records, want 3", len(gs))
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("bogus", 10, 1, 4, 0.5, 2, 7, ""); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run("normal", 10, 1, 4, 0.5, 2, 7, "/nonexistent/dir/x"); err == nil {
+		t.Fatal("bad output path accepted")
+	}
+}

@@ -1,0 +1,283 @@
+// Semilocal is a command-line interface to the semi-local LCS library.
+//
+// It reads two strings (raw files, inline text, or the first record of
+// FASTA files), computes their semi-local LCS kernel with a chosen
+// algorithm, and answers queries:
+//
+//	semilocal -a-text ABCABBA -b-text CBABAC score
+//	semilocal -alg hybrid -workers 8 a.txt b.txt score
+//	semilocal -fasta a.fa b.fa windows -width 100 -top 5
+//	semilocal a.txt b.txt query -kind string-substring -from 10 -to 90
+//
+// Subcommands (their flags follow the subcommand name):
+//
+//	score     print LCS(a, b)
+//	windows   print the best -top windows of b of width -width by
+//	          LCS score against the whole of a
+//	query     print one quadrant query; -kind selects
+//	          string-substring | substring-string | suffix-prefix |
+//	          prefix-suffix, with the range [-from, -to)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"semilocal"
+	"semilocal/internal/dataset"
+)
+
+var algorithms = map[string]semilocal.Algorithm{
+	"rowmajor":      semilocal.RowMajor,
+	"antidiag":      semilocal.Antidiag,
+	"simd":          semilocal.AntidiagBranchless,
+	"load-balanced": semilocal.LoadBalanced,
+	"recursive":     semilocal.Recursive,
+	"hybrid":        semilocal.Hybrid,
+	"grid":          semilocal.GridReduction,
+}
+
+func algorithmNames() string {
+	names := make([]string, 0, len(algorithms))
+	for n := range algorithms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "semilocal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("semilocal", flag.ContinueOnError)
+	alg := fs.String("alg", "simd", "algorithm: "+algorithmNames())
+	workers := fs.Int("workers", 1, "worker goroutines")
+	aText := fs.String("a-text", "", "inline string a (instead of a file)")
+	bText := fs.String("b-text", "", "inline string b (instead of a file)")
+	fasta := fs.Bool("fasta", false, "treat input files as FASTA; the first record is used")
+	edit := fs.Bool("edit", false, "measure unit-cost edit distance instead of LCS score")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	a, b, rest, err := loadInputs(fs.Args(), *aText, *bText, *fasta)
+	if err != nil {
+		return err
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand: score, windows or query")
+	}
+	algorithm, ok := algorithms[*alg]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (want one of %s)", *alg, algorithmNames())
+	}
+
+	cfg := semilocal.Config{Algorithm: algorithm, Workers: *workers}
+	sub, subArgs := rest[0], rest[1:]
+	if *edit {
+		return runEdit(a, b, cfg, sub, subArgs)
+	}
+	k, err := semilocal.Solve(a, b, cfg)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "score":
+		fmt.Printf("LCS = %d  (m=%d, n=%d, algorithm=%v)\n", k.Score(), len(a), len(b), algorithm)
+		return nil
+	case "windows":
+		wfs := flag.NewFlagSet("windows", flag.ContinueOnError)
+		width := wfs.Int("width", 0, "window width (default len(a))")
+		top := wfs.Int("top", 3, "how many best windows to print")
+		if err := wfs.Parse(subArgs); err != nil {
+			return err
+		}
+		w := *width
+		if w == 0 {
+			w = len(a)
+		}
+		if w > len(b) {
+			return fmt.Errorf("window width %d exceeds len(b)=%d", w, len(b))
+		}
+		return printBestWindows(k, w, *top)
+	case "query":
+		qfs := flag.NewFlagSet("query", flag.ContinueOnError)
+		kind := qfs.String("kind", "string-substring", "quadrant kind")
+		from := qfs.Int("from", 0, "range start")
+		to := qfs.Int("to", -1, "range end (exclusive)")
+		if err := qfs.Parse(subArgs); err != nil {
+			return err
+		}
+		return printQuery(k, *kind, *from, *to, len(a), len(b))
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+func loadInputs(args []string, aText, bText string, fasta bool) (a, b []byte, rest []string, err error) {
+	readOne := func(path string) ([]byte, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if fasta {
+			gs, err := dataset.ReadFASTA(strings.NewReader(string(data)))
+			if err != nil {
+				return nil, err
+			}
+			if len(gs) == 0 {
+				return nil, fmt.Errorf("%s: no FASTA records", path)
+			}
+			return gs[0].Seq, nil
+		}
+		return []byte(strings.TrimRight(string(data), "\n")), nil
+	}
+	rest = args
+	if aText != "" {
+		a = []byte(aText)
+	} else {
+		if len(rest) == 0 {
+			return nil, nil, nil, fmt.Errorf("missing input file for a")
+		}
+		if a, err = readOne(rest[0]); err != nil {
+			return nil, nil, nil, err
+		}
+		rest = rest[1:]
+	}
+	if bText != "" {
+		b = []byte(bText)
+	} else {
+		if len(rest) == 0 {
+			return nil, nil, nil, fmt.Errorf("missing input file for b")
+		}
+		if b, err = readOne(rest[0]); err != nil {
+			return nil, nil, nil, err
+		}
+		rest = rest[1:]
+	}
+	return a, b, rest, nil
+}
+
+func printBestWindows(k *semilocal.Kernel, width, top int) error {
+	scores := k.WindowScores(width)
+	type win struct{ l, score int }
+	wins := make([]win, len(scores))
+	for l, s := range scores {
+		wins[l] = win{l, s}
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i].score > wins[j].score })
+	if top > len(wins) {
+		top = len(wins)
+	}
+	fmt.Printf("best %d windows of width %d (of %d):\n", top, width, len(wins))
+	for _, w := range wins[:top] {
+		fmt.Printf("  b[%d:%d)  LCS=%d  (%.1f%% of window)\n",
+			w.l, w.l+width, w.score, 100*float64(w.score)/float64(width))
+	}
+	return nil
+}
+
+func printQuery(k *semilocal.Kernel, kind string, from, to, m, n int) error {
+	if to < 0 {
+		switch kind {
+		case "substring-string":
+			to = m
+		default:
+			to = n
+		}
+	}
+	switch kind {
+	case "string-substring":
+		fmt.Printf("LCS(a, b[%d:%d)) = %d\n", from, to, k.StringSubstring(from, to))
+	case "substring-string":
+		fmt.Printf("LCS(a[%d:%d), b) = %d\n", from, to, k.SubstringString(from, to))
+	case "suffix-prefix":
+		fmt.Printf("LCS(a[%d:], b[:%d]) = %d\n", from, to, k.SuffixPrefix(from, to))
+	case "prefix-suffix":
+		fmt.Printf("LCS(a[:%d], b[%d:]) = %d\n", from, to, k.PrefixSuffix(from, to))
+	default:
+		return fmt.Errorf("unknown query kind %q", kind)
+	}
+	return nil
+}
+
+// runEdit handles the -edit mode: the same subcommands, measured in
+// unit-cost edit distance through the blow-up kernel.
+func runEdit(a, b []byte, cfg semilocal.Config, sub string, subArgs []string) error {
+	k, err := semilocal.SolveEdit(a, b, cfg)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "score":
+		fmt.Printf("edit distance = %d  (m=%d, n=%d)\n", k.Distance(), len(a), len(b))
+		return nil
+	case "windows":
+		wfs := flag.NewFlagSet("windows", flag.ContinueOnError)
+		width := wfs.Int("width", 0, "window width (default len(a))")
+		top := wfs.Int("top", 3, "how many best windows to print")
+		if err := wfs.Parse(subArgs); err != nil {
+			return err
+		}
+		w := *width
+		if w == 0 {
+			w = len(a)
+		}
+		if w > len(b) {
+			return fmt.Errorf("window width %d exceeds len(b)=%d", w, len(b))
+		}
+		ds := k.WindowDistances(w)
+		type win struct{ l, d int }
+		wins := make([]win, len(ds))
+		for l, d := range ds {
+			wins[l] = win{l, d}
+		}
+		sort.Slice(wins, func(i, j int) bool { return wins[i].d < wins[j].d })
+		if *top > len(wins) {
+			*top = len(wins)
+		}
+		fmt.Printf("best %d windows of width %d by edit distance:\n", *top, w)
+		for _, x := range wins[:*top] {
+			fmt.Printf("  b[%d:%d)  distance %d\n", x.l, x.l+w, x.d)
+		}
+		return nil
+	case "query":
+		qfs := flag.NewFlagSet("query", flag.ContinueOnError)
+		kind := qfs.String("kind", "string-substring", "quadrant kind")
+		from := qfs.Int("from", 0, "range start")
+		to := qfs.Int("to", -1, "range end (exclusive)")
+		if err := qfs.Parse(subArgs); err != nil {
+			return err
+		}
+		if *to < 0 {
+			if *kind == "substring-string" {
+				*to = len(a)
+			} else {
+				*to = len(b)
+			}
+		}
+		switch *kind {
+		case "string-substring":
+			fmt.Printf("ed(a, b[%d:%d)) = %d\n", *from, *to, k.SubstringDistance(*from, *to))
+		case "substring-string":
+			fmt.Printf("ed(a[%d:%d), b) = %d\n", *from, *to, k.SubstringStringDistance(*from, *to))
+		case "suffix-prefix":
+			fmt.Printf("ed(a[%d:], b[:%d]) = %d\n", *from, *to, k.SuffixPrefixDistance(*from, *to))
+		case "prefix-suffix":
+			fmt.Printf("ed(a[:%d], b[%d:]) = %d\n", *from, *to, k.PrefixSuffixDistance(*from, *to))
+		default:
+			return fmt.Errorf("unknown query kind %q", *kind)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}

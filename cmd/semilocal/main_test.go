@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunScoreInline(t *testing.T) {
+	if err := run([]string{"-a-text", "ABCABBA", "-b-text", "CBABAC", "score"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.txt")
+	bPath := filepath.Join(dir, "b.txt")
+	if err := os.WriteFile(aPath, []byte("GATTACA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, []byte("TACGATTACA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{aPath, bPath, "score"},
+		{"-alg", "hybrid", "-workers", "2", aPath, bPath, "score"},
+		{aPath, bPath, "windows", "-width", "5", "-top", "2"},
+		{aPath, bPath, "query", "-kind", "substring-string", "-from", "1", "-to", "6"},
+		{aPath, bPath, "query", "-kind", "prefix-suffix", "-from", "3", "-to", "2"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunFASTA(t *testing.T) {
+	dir := t.TempDir()
+	fa := filepath.Join(dir, "x.fa")
+	if err := os.WriteFile(fa, []byte(">one\nACGTACGT\n>two\nGGGG\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fasta", fa, fa, "score"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                               // no inputs
+		{"-a-text", "x"},                 // missing b
+		{"-a-text", "x", "-b-text", "y"}, // missing subcommand
+		{"-a-text", "x", "-b-text", "y", "bogus"},                  // unknown subcommand
+		{"-alg", "nope", "-a-text", "x", "-b-text", "y", "score"},  // unknown algorithm
+		{"-a-text", "x", "-b-text", "y", "windows", "-width", "9"}, // width too large
+		{"-a-text", "x", "-b-text", "y", "query", "-kind", "nope"}, // unknown kind
+		{"/nonexistent/a", "/nonexistent/b", "score"},              // unreadable file
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunEditMode(t *testing.T) {
+	for _, args := range [][]string{
+		{"-edit", "-a-text", "kitten", "-b-text", "sitting", "score"},
+		{"-edit", "-a-text", "kitten", "-b-text", "the sitting cat", "windows", "-top", "2"},
+		{"-edit", "-a-text", "kitten", "-b-text", "sitting", "query", "-kind", "string-substring", "-from", "0", "-to", "6"},
+		{"-edit", "-a-text", "kitten", "-b-text", "sitting", "query", "-kind", "suffix-prefix", "-from", "1", "-to", "4"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+	for _, args := range [][]string{
+		{"-edit", "-a-text", "x", "-b-text", "y", "bogus"},
+		{"-edit", "-a-text", "x", "-b-text", "y", "windows", "-width", "5"},
+		{"-edit", "-a-text", "x", "-b-text", "y", "query", "-kind", "nope"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"semilocal/internal/dataset"
+)
+
+func writeFamily(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fam.fa")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteFASTA(f, dataset.SimulateGenomes(4, 800, 3)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProducesSymmetricMatrix(t *testing.T) {
+	path := writeFamily(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("simd", 2, path, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want header + 4 rows:\n%s", len(lines), data)
+	}
+	// Diagonal must be 1.0000 and the matrix symmetric.
+	var cells [4][4]string
+	for i, line := range lines[1:] {
+		parts := strings.Split(line, ",")
+		if len(parts) != 5 {
+			t.Fatalf("row %d has %d cells", i, len(parts))
+		}
+		copy(cells[i][:], parts[1:])
+	}
+	for i := 0; i < 4; i++ {
+		if cells[i][i] != "1.0000" {
+			t.Fatalf("diagonal [%d][%d] = %s", i, i, cells[i][i])
+		}
+		for j := 0; j < 4; j++ {
+			if cells[i][j] != cells[j][i] {
+				t.Fatalf("matrix asymmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeFamily(t)
+	if err := run("bogus", 1, path, os.Stdout); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run("simd", 1, "/nonexistent.fa", os.Stdout); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	single := filepath.Join(t.TempDir(), "one.fa")
+	if err := os.WriteFile(single, []byte(">only\nACGT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("simd", 1, single, os.Stdout); err == nil {
+		t.Fatal("single-record file accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package semilocal_test
+
+import (
+	"fmt"
+
+	"semilocal"
+)
+
+// The basic workflow: one solve, many queries.
+func Example() {
+	a := []byte("ABCABBA")
+	b := []byte("CBABAC")
+	k, err := semilocal.Solve(a, b, semilocal.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(k.Score())
+	fmt.Println(k.StringSubstring(1, 5))
+	// Output:
+	// 4
+	// 4
+}
+
+// Sliding-window scores localize the best-matching region of b in
+// O(m+n) after the solve.
+func ExampleKernel_windowScores() {
+	pattern := []byte("GATTACA")
+	text := []byte("CCCCGATTACACCCC")
+	k, err := semilocal.Solve(pattern, text, semilocal.Config{
+		Algorithm: semilocal.AntidiagBranchless,
+	})
+	if err != nil {
+		panic(err)
+	}
+	scores := k.WindowScores(len(pattern))
+	best, at := -1, 0
+	for l, s := range scores {
+		if s > best {
+			best, at = s, l
+		}
+	}
+	fmt.Printf("text[%d:%d) matches with LCS %d\n", at, at+len(pattern), best)
+	// Output:
+	// text[4:11) matches with LCS 7
+}
+
+// Binary strings use the bit-parallel scorer: Boolean word operations
+// only.
+func ExampleBinaryLCS() {
+	x := []byte{0, 1, 1, 0, 1}
+	y := []byte{1, 1, 0, 0, 1}
+	fmt.Println(semilocal.BinaryLCS(x, y, 1))
+	// Output:
+	// 4
+}
+
+// Semi-local edit distance answers approximate-matching queries.
+func ExampleSolveEdit() {
+	pattern := []byte("kitten")
+	text := []byte("the sitting cat")
+	k, err := semilocal.SolveEdit(pattern, text, semilocal.Config{})
+	if err != nil {
+		panic(err)
+	}
+	pos, dist := k.BestMatch(len(pattern))
+	fmt.Printf("best window %q at distance %d\n", text[pos:pos+len(pattern)], dist)
+	fmt.Println(semilocal.EditDistance(pattern, []byte("sitting")))
+	// Output:
+	// best window "sittin" at distance 2
+	// 3
+}

@@ -1,0 +1,81 @@
+// Fuzzysearch is an agrep-style approximate search tool built on the
+// semi-local edit-distance kernel: it reports every occurrence of a
+// pattern in a text within a given edit distance, from a single
+// semi-local solve — the Sellers / Landau–Vishkin approximate-matching
+// problem that the paper's related work identifies as "essentially a
+// form of semi-local string comparison".
+//
+//	go run ./examples/fuzzysearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"semilocal"
+)
+
+// occurrences returns the locally best windows with edit distance ≤ k:
+// positions whose window distance is a local minimum under the
+// threshold, deduplicated so each occurrence is reported once.
+func occurrences(ek *semilocal.EditKernel, width, k int) []struct{ pos, dist int } {
+	ds := ek.WindowDistances(width)
+	var out []struct{ pos, dist int }
+	for l := 0; l < len(ds); l++ {
+		if ds[l] > k {
+			continue
+		}
+		// Walk the plateau/valley of qualifying windows and keep its best.
+		best, bestAt := ds[l], l
+		j := l
+		for j+1 < len(ds) && ds[j+1] <= k {
+			j++
+			if ds[j] < best {
+				best, bestAt = ds[j], j
+			}
+		}
+		out = append(out, struct{ pos, dist int }{bestAt, best})
+		l = j
+	}
+	return out
+}
+
+func main() {
+	text := []byte(strings.Join([]string{
+		"the sticky braid is combed in row major order;",
+		"a stickybraid can be combed along antidiagonals too;",
+		"steaky brayd multiplication composes the partial kernels;",
+		"unrelated filler text about dynamic programming grids",
+	}, " "))
+	pattern := []byte("sticky braid")
+	const maxDist = 3
+
+	// Corrupt the text a little more for good measure.
+	rng := rand.New(rand.NewSource(5))
+	noisy := append([]byte{}, text...)
+	for i := 0; i < 3; i++ {
+		noisy[rng.Intn(len(noisy))] = byte('a' + rng.Intn(26))
+	}
+
+	ek, err := semilocal.SolveEdit(pattern, noisy, semilocal.Config{
+		Algorithm: semilocal.AntidiagBranchless,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pattern %q, max edit distance %d, text length %d\n\n", pattern, maxDist, len(noisy))
+	hits := occurrences(ek, len(pattern), maxDist)
+	if len(hits) == 0 {
+		fmt.Println("no occurrences")
+		return
+	}
+	for _, h := range hits {
+		fmt.Printf("  at %3d  dist %d  %q\n", h.pos, h.dist, noisy[h.pos:h.pos+len(pattern)])
+	}
+	if len(hits) < 3 {
+		log.Fatalf("expected at least the three planted variants, found %d", len(hits))
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart demonstrates the public semilocal API end to end: solve
+// once, then answer many kinds of LCS queries from the kernel.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semilocal"
+)
+
+func main() {
+	a := []byte("DYNAMICPROGRAMMING")
+	b := []byte("STICKYBRAIDCOMBINGPROGRAM")
+
+	// One O(mn) computation answers every query below.
+	k, err := semilocal.Solve(a, b, semilocal.Config{
+		Algorithm: semilocal.AntidiagBranchless,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("a = %q (m=%d)\n", a, k.M())
+	fmt.Printf("b = %q (n=%d)\n\n", b, k.N())
+
+	// Global score — the ordinary LCS.
+	fmt.Printf("LCS(a, b)            = %d\n", k.Score())
+
+	// String-substring: a against a window of b.
+	fmt.Printf("LCS(a, b[11:18))     = %d  (window %q)\n",
+		k.StringSubstring(11, 18), b[11:18])
+
+	// Substring-string: a window of a against the whole of b.
+	fmt.Printf("LCS(a[7:15), b)      = %d  (window %q)\n",
+		k.SubstringString(7, 15), a[7:15])
+
+	// Suffix-prefix and prefix-suffix overlaps.
+	fmt.Printf("LCS(a[10:], b[:12])  = %d\n", k.SuffixPrefix(10, 12))
+	fmt.Printf("LCS(a[:7], b[18:])   = %d\n\n", k.PrefixSuffix(7, 18))
+
+	// Sliding-window scores: every width-7 window of b scored against a
+	// in O(m+n) total.
+	width := 7
+	scores := k.WindowScores(width)
+	best, at := -1, 0
+	for l, s := range scores {
+		if s > best {
+			best, at = s, l
+		}
+	}
+	fmt.Printf("best width-%d window: b[%d:%d) = %q with LCS %d\n",
+		width, at, at+width, b[at:at+width], best)
+
+	// For long binary strings, the bit-parallel fast path computes the
+	// global score with Boolean word operations only.
+	x := []byte{0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 1}
+	y := []byte{1, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0}
+	fmt.Printf("\nBinaryLCS(x, y)      = %d\n", semilocal.BinaryLCS(x, y, 1))
+}

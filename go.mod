@@ -1,0 +1,3 @@
+module semilocal
+
+go 1.22

@@ -1,0 +1,139 @@
+package bitlcs
+
+import "fmt"
+
+// ScoreAlphabet generalizes the bit-parallel combing algorithm to an
+// arbitrary byte alphabet, answering the open question in the paper's
+// conclusion ("it is yet unclear how well this algorithm can be
+// generalized to an arbitrary alphabet").
+//
+// Characters are densely re-coded and stored as r = ⌈log₂ σ⌉ bit
+// planes; the per-anti-diagonal match word, computed for the binary case
+// as a single ^(a ⊕ b), becomes the AND over the planes of the per-plane
+// agreements:
+//
+//	s = ∧_p ^(A_p ⊕ B_p)
+//
+// so the algorithm stays table-free and addition-free at a factor-r cost
+// in the match computation only — the strand update logic is unchanged.
+// For DNA (σ = 4, r = 2) that is one extra XOR/NOT/AND triple per
+// anti-diagonal step.
+func ScoreAlphabet(a, b []byte, opt Options) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	// Dense code assignment over the characters that actually occur.
+	var code [256]int16
+	for i := range code {
+		code[i] = -1
+	}
+	sigma := 0
+	assign := func(s []byte) {
+		for _, c := range s {
+			if code[c] < 0 {
+				code[c] = int16(sigma)
+				sigma++
+			}
+		}
+	}
+	assign(a)
+	assign(b)
+	r := 1
+	for 1<<r < sigma {
+		r++
+	}
+	st := newPlaneState(a, b, &code, r)
+	runBlocks(len(st.h), len(st.v), st.block, opt)
+	return len(a) - popcount(st.h)
+}
+
+// planeState is the packed state of the alphabet-generalized algorithm:
+// strand words as in bitState, characters as r bit planes.
+type planeState struct {
+	h, v   []uint64
+	ap, bp [][]uint64 // ap[p][I], bp[p][J]: plane p of a (reversed) and b
+	hm, vm []uint64
+}
+
+func newPlaneState(a, b []byte, code *[256]int16, r int) *planeState {
+	m, n := len(a), len(b)
+	mb, nb := (m+W-1)/W, (n+W-1)/W
+	st := &planeState{
+		h:  make([]uint64, mb),
+		v:  make([]uint64, nb),
+		ap: make([][]uint64, r),
+		bp: make([][]uint64, r),
+		hm: make([]uint64, mb),
+		vm: make([]uint64, nb),
+	}
+	for p := 0; p < r; p++ {
+		st.ap[p] = make([]uint64, mb)
+		st.bp[p] = make([]uint64, nb)
+	}
+	for i := 0; i < m; i++ {
+		c := code[a[m-1-i]] // reversed, as in the binary algorithm
+		if c < 0 {
+			panic(fmt.Sprintf("bitlcs: character %d missing from code table", a[m-1-i]))
+		}
+		for p := 0; p < r; p++ {
+			st.ap[p][i/W] |= uint64(c>>p&1) << (i % W)
+		}
+		st.hm[i/W] |= 1 << (i % W)
+	}
+	for j := 0; j < n; j++ {
+		c := code[b[j]]
+		for p := 0; p < r; p++ {
+			st.bp[p][j/W] |= uint64(c>>p&1) << (j % W)
+		}
+		st.vm[j/W] |= 1 << (j % W)
+	}
+	copy(st.h, st.hm)
+	return st
+}
+
+// block processes one W×W block with the memory-access optimization
+// (words in locals) and the plane-wise match computation.
+func (st *planeState) block(I, J int) {
+	h, v := st.h[I], st.v[J]
+	hm, vm := st.hm[I], st.vm[J]
+	r := len(st.ap)
+	// Local copies of this block's plane words.
+	var aw, bw [8]uint64
+	if r > len(aw) {
+		panic("bitlcs: alphabet too large for plane buffer")
+	}
+	for p := 0; p < r; p++ {
+		aw[p] = st.ap[p][I]
+		bw[p] = st.bp[p][J]
+	}
+	for e := W - 1; e >= 1; e-- { // δ = -e: upper-left triangle
+		vs := v << e
+		s := ^(aw[0] ^ (bw[0] << e))
+		for p := 1; p < r; p++ {
+			s &= ^(aw[p] ^ (bw[p] << e))
+		}
+		valid := hm & (vm << e)
+		c := valid & (s | (^h & vs))
+		oldH := h
+		h = (h &^ c) | (vs & c)
+		cv := c >> e
+		v = (v &^ cv) | ((oldH >> e) & cv)
+	}
+	for d := 0; d < W; d++ { // δ = d: main diagonal and lower-right triangle
+		vs := v >> d
+		s := ^(aw[0] ^ (bw[0] >> d))
+		for p := 1; p < r; p++ {
+			s &= ^(aw[p] ^ (bw[p] >> d))
+		}
+		valid := hm & (vm >> d)
+		c := valid & (s | (^h & vs))
+		oldH := h
+		h = (h &^ c) | (vs & c)
+		cv := c << d
+		v = (v &^ cv) | ((oldH << d) & cv)
+	}
+	st.h[I], st.v[J] = h, v
+}

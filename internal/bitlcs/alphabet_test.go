@@ -1,0 +1,95 @@
+package bitlcs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semilocal/internal/lcs"
+)
+
+func TestScoreAlphabetMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	sigmas := []int{1, 2, 3, 4, 5, 8, 26, 100, 256}
+	for _, sigma := range sigmas {
+		for trial := 0; trial < 12; trial++ {
+			m, n := 1+rng.Intn(300), 1+rng.Intn(300)
+			a := make([]byte, m)
+			b := make([]byte, n)
+			for i := range a {
+				a[i] = byte(rng.Intn(sigma))
+			}
+			for i := range b {
+				b[i] = byte(rng.Intn(sigma))
+			}
+			want := lcs.PrefixRowMajor(a, b)
+			if got := ScoreAlphabet(a, b, Options{}); got != want {
+				t.Fatalf("σ=%d m=%d n=%d: got %d, want %d", sigma, m, n, got, want)
+			}
+		}
+	}
+}
+
+func TestScoreAlphabetSparseBytes(t *testing.T) {
+	// Characters spread across the byte range must still code densely.
+	a := []byte{0, 255, 17, 255, 0, 93, 17}
+	b := []byte{93, 0, 255, 17, 17, 255}
+	if got, want := ScoreAlphabet(a, b, Options{}), lcs.ScoreFull(a, b); got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+func TestScoreAlphabetBinaryAgreesWithBitNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 20; trial++ {
+		a := randBinary(rng, 1+rng.Intn(500), 0.5)
+		b := randBinary(rng, 1+rng.Intn(500), 0.5)
+		if ScoreAlphabet(a, b, Options{}) != Score(a, b, FormulaOpt, Options{}) {
+			t.Fatal("alphabet generalization disagrees with binary algorithm")
+		}
+	}
+}
+
+func TestScoreAlphabetParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a := make([]byte, 2000)
+	b := make([]byte, 1500)
+	for i := range a {
+		a[i] = byte('A' + rng.Intn(4))
+	}
+	for i := range b {
+		b[i] = byte('A' + rng.Intn(4))
+	}
+	want := lcs.PrefixRowMajor(a, b)
+	if got := ScoreAlphabet(a, b, Options{Workers: 4, MinBlocks: 1}); got != want {
+		t.Fatalf("parallel: got %d, want %d", got, want)
+	}
+}
+
+func TestScoreAlphabetEdgeCases(t *testing.T) {
+	if ScoreAlphabet(nil, []byte("x"), Options{}) != 0 {
+		t.Fatal("empty a")
+	}
+	if ScoreAlphabet([]byte("x"), nil, Options{}) != 0 {
+		t.Fatal("empty b")
+	}
+	same := []byte("zzzzzz")
+	if ScoreAlphabet(same, same, Options{}) != len(same) {
+		t.Fatal("identical single-letter strings")
+	}
+}
+
+func TestScoreAlphabetProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > 120 {
+			a = a[:120]
+		}
+		if len(b) > 120 {
+			b = b[:120]
+		}
+		return ScoreAlphabet(a, b, Options{}) == lcs.ScoreFull(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package bitlcs
+
+// Block processing. A block pairs horizontal word I with vertical word J
+// and sweeps the 2W-1 bit anti-diagonals of the W×W sub-grid in grid
+// order: relative shift δ = k_v - k_h running from -(W-1) to W-1. For
+// δ = -e < 0 the vertical data is aligned into the horizontal frame by
+// left shifts; for δ = d ≥ 0 by right shifts.
+//
+// In the horizontal frame the combing step for strand bits h, v with
+// match bits s is
+//
+//	c = valid & (s | (^h & v))     // swap: match or crossed before
+//	h' = (h &^ c) | (v & c)
+//	v' = (v &^ c) | (h & c)
+//
+// mirroring the branchless strand-index update of Listing 4.
+
+// blockOld is the paper's bit_old: every bit anti-diagonal re-reads and
+// re-writes the strand words in memory.
+func (st *bitState) blockOld(I, J int) {
+	aw, bw := st.a[I], st.b[J]
+	hm, vm := st.hm[I], st.vm[J]
+	for e := W - 1; e >= 1; e-- { // δ = -e: upper-left block triangle
+		h, v := st.h[I], st.v[J]
+		vs := v << e
+		s := ^(aw ^ (bw << e))
+		valid := hm & (vm << e)
+		c := valid & (s | (^h & vs))
+		st.h[I] = (h &^ c) | (vs & c)
+		cv := c >> e
+		st.v[J] = (v &^ cv) | ((h >> e) & cv)
+	}
+	for d := 0; d < W; d++ { // δ = d: main diagonal and lower-right triangle
+		h, v := st.h[I], st.v[J]
+		vs := v >> d
+		s := ^(aw ^ (bw >> d))
+		valid := hm & (vm >> d)
+		c := valid & (s | (^h & vs))
+		st.h[I] = (h &^ c) | (vs & c)
+		cv := c << d
+		st.v[J] = (v &^ cv) | ((h << d) & cv)
+	}
+}
+
+// blockMemOpt is bit_new_1: the four words are loaded into locals once
+// per block and stored back once.
+func (st *bitState) blockMemOpt(I, J int) {
+	h, v := st.h[I], st.v[J]
+	aw, bw := st.a[I], st.b[J]
+	hm, vm := st.hm[I], st.vm[J]
+	for e := W - 1; e >= 1; e-- {
+		vs := v << e
+		s := ^(aw ^ (bw << e))
+		valid := hm & (vm << e)
+		c := valid & (s | (^h & vs))
+		oldH := h
+		h = (h &^ c) | (vs & c)
+		cv := c >> e
+		v = (v &^ cv) | ((oldH >> e) & cv)
+	}
+	for d := 0; d < W; d++ {
+		vs := v >> d
+		s := ^(aw ^ (bw >> d))
+		valid := hm & (vm >> d)
+		c := valid & (s | (^h & vs))
+		oldH := h
+		h = (h &^ c) | (vs & c)
+		cv := c << d
+		v = (v &^ cv) | ((oldH << d) & cv)
+	}
+	st.h[I], st.v[J] = h, v
+}
+
+// blockFormulaOpt is bit_new_2: MemOpt plus the paper's optimized
+// Boolean formulas. One side of the swap is computed by masked selection
+// without materializing the swap condition —
+//
+//	v' = (h_aligned | ^valid) & (v | (s & valid))
+//
+// — and the other side is patched by XOR with the bits that changed,
+// h' = h ⊕ ((v ⊕ v') shifted); storing ^a alongside a turns the match
+// computation ^(a ⊕ b) into a single XOR.
+func (st *bitState) blockFormulaOpt(I, J int) {
+	h, v := st.h[I], st.v[J]
+	aw, naw := st.a[I], st.na[I]
+	bw := st.b[J]
+	hm, vm := st.hm[I], st.vm[J]
+	for e := W - 1; e >= 1; e-- { // δ = -e, horizontal frame
+		vs := v << e
+		notS := aw ^ (bw << e) // ^s = a ⊕ b
+		valid := hm & (vm << e)
+		oldH := h
+		// h' = vs | (h & ^s) on valid bits, h elsewhere.
+		h = (h & (notS | ^valid)) | (vs & valid)
+		v = v ^ ((oldH ^ h) >> e)
+	}
+	for d := 0; d < W; d++ { // δ = d, vertical frame
+		hs := h << d
+		s := (naw << d) ^ bw // s = ^a ⊕ b aligned to the vertical frame
+		valid := (hm << d) & vm
+		oldV := v
+		v = (hs | ^valid) & (v | (s & valid))
+		h = h ^ ((oldV ^ v) >> d)
+	}
+	st.h[I], st.v[J] = h, v
+}

@@ -1,0 +1,65 @@
+package bitlcs
+
+import "math/bits"
+
+// CIPR computes LCS(a, b) with the classical bit-vector algorithm of
+// Crochemore, Iliopoulos, Pinzon and Reid (also presented by Hyyrö),
+// which the paper cites as the prior state of the art in bit
+// parallelism. It works for any byte alphabet.
+//
+// Row i of the DP table is encoded as a vector V whose j-th bit is 1 iff
+// L[i][j] = L[i][j-1]; each row update is
+//
+//	V' = (V + (V & M[a_i])) | (V & ^M[a_i])
+//
+// where M[c] marks the positions of character c in b. Unlike the
+// combing-based algorithm of this package, the addition propagates a
+// carry through the whole row — the multi-word version below must chain
+// carries across words, which is exactly the dependency the paper's
+// Boolean-only algorithm avoids.
+func CIPR(a, b []byte) int {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	words := (n + W - 1) / W
+	// Match vectors, built only for characters present in a.
+	var match [256][]uint64
+	for _, c := range a {
+		if match[c] == nil {
+			mv := make([]uint64, words)
+			for j, bc := range b {
+				if bc == c {
+					mv[j/W] |= 1 << (j % W)
+				}
+			}
+			match[c] = mv
+		}
+	}
+	v := make([]uint64, words)
+	for i := range v {
+		v[i] = ^uint64(0)
+	}
+	// Mask ragged bits of the last word so the final popcount is exact.
+	last := ^uint64(0)
+	if n%W != 0 {
+		last = (1 << (n % W)) - 1
+	}
+	u := make([]uint64, words)
+	for _, c := range a {
+		mv := match[c]
+		var carry uint64
+		for k := 0; k < words; k++ {
+			u[k] = v[k] & mv[k]
+			sum, c1 := bits.Add64(v[k], u[k], carry)
+			carry = c1
+			v[k] = sum | (v[k] &^ mv[k])
+		}
+	}
+	v[words-1] &= last
+	zeros := n
+	for _, w := range v {
+		zeros -= bits.OnesCount64(w)
+	}
+	return zeros
+}

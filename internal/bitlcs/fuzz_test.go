@@ -1,0 +1,41 @@
+package bitlcs
+
+import (
+	"testing"
+
+	"semilocal/internal/lcs"
+)
+
+// FuzzBinaryScore drives the three bit-parallel versions and the CIPR
+// baseline with arbitrary bit patterns and lengths, comparing against
+// plain DP.
+func FuzzBinaryScore(f *testing.F) {
+	f.Add(uint64(0xdeadbeef), uint64(0x12345678), uint16(64), uint16(65))
+	f.Add(uint64(0), ^uint64(0), uint16(1), uint16(200))
+	f.Add(uint64(0xaaaaaaaaaaaaaaaa), uint64(0x5555555555555555), uint16(128), uint16(127))
+	f.Fuzz(func(t *testing.T, seedA, seedB uint64, mRaw, nRaw uint16) {
+		m, n := int(mRaw%300)+1, int(nRaw%300)+1
+		a := make([]byte, m)
+		b := make([]byte, n)
+		// Expand the seeds into pseudo-random bit strings.
+		x := seedA | 1
+		for i := range a {
+			x = x*6364136223846793005 + 1442695040888963407
+			a[i] = byte(x>>63) & 1
+		}
+		x = seedB | 1
+		for i := range b {
+			x = x*6364136223846793005 + 1442695040888963407
+			b[i] = byte(x>>63) & 1
+		}
+		want := lcs.ScoreFull(a, b)
+		for _, v := range []Version{Old, MemOpt, FormulaOpt} {
+			if got := Score(a, b, v, Options{}); got != want {
+				t.Fatalf("%v: got %d, want %d (m=%d n=%d)", v, got, want, m, n)
+			}
+		}
+		if got := CIPR(a, b); got != want {
+			t.Fatalf("CIPR: got %d, want %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package bitlcs
+
+import "testing"
+
+func TestVersionString(t *testing.T) {
+	cases := map[Version]string{
+		Old:        "bit_old",
+		MemOpt:     "bit_new_1",
+		FormulaOpt: "bit_new_2",
+		Version(9): "Version(9)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestOptionsMinBlocksDefault(t *testing.T) {
+	if got := (Options{}).minBlocks(); got <= 0 {
+		t.Fatalf("default minBlocks = %d", got)
+	}
+	if got := (Options{MinBlocks: 7}).minBlocks(); got != 7 {
+		t.Fatalf("explicit minBlocks = %d, want 7", got)
+	}
+}
+
+func TestScoreUnknownVersionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown version accepted")
+		}
+	}()
+	Score([]byte{0}, []byte{1}, Version(42), Options{})
+}
+
+func TestScoreSwapsLongerFirst(t *testing.T) {
+	// m > n path must transparently swap (LCS symmetry).
+	a := make([]byte, 300)
+	b := make([]byte, 50)
+	for i := range a {
+		a[i] = byte(i % 2)
+	}
+	for i := range b {
+		b[i] = byte((i + 1) % 2)
+	}
+	if Score(a, b, FormulaOpt, Options{}) != Score(b, a, FormulaOpt, Options{}) {
+		t.Fatal("Score not symmetric under swap")
+	}
+}

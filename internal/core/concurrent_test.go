@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueries exercises the lazily built dominance structure
+// from many goroutines at once; run with -race to verify the sync.Once
+// publication.
+func TestConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	a := randString(rng, 120, 3)
+	b := randString(rng, 150, 3)
+	k := mustSolve(t, a, b, Config{Algorithm: GridReduction, Workers: 2})
+
+	want := make([]int, 50)
+	for i := range want {
+		want[i] = k.StringSubstring(i, i+80)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k2 := mustCopy(t, k)
+			_ = k2
+			for i := range want {
+				if got := k.StringSubstring(i, i+80); got != want[i] {
+					errs <- "mismatch"
+					return
+				}
+				if k.H(i, i+10) < 0 && i < k.M() {
+					errs <- "negative H in valid region"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func mustCopy(t *testing.T, k *Kernel) *Kernel {
+	t.Helper()
+	data, err := k.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := UnmarshalKernel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k2
+}

@@ -1,0 +1,269 @@
+// Package core is the semi-local LCS facade: it dispatches between the
+// kernel-producing algorithms of this repository and interprets the
+// resulting kernel — a permutation of order m+n — as the implicit
+// (m+n+1)×(m+n+1) LCS matrix H of Definition 3.3 of the paper, whose
+// quadrants answer the four semi-local sub-problems:
+//
+//	string-substring:  LCS(a, b[l:r))  for all windows of b,
+//	substring-string:  LCS(a[k:l), b)  for all windows of a,
+//	suffix-prefix:     LCS(a[k:], b[:j]),
+//	prefix-suffix:     LCS(a[:k], b[j:]).
+//
+// Arbitrary H entries cost O(log(m+n)) through a dominance-counting
+// structure built lazily on first query; whole rows of window scores are
+// extracted incrementally in O(1) amortized per window.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"semilocal/internal/combing"
+	"semilocal/internal/dominance"
+	"semilocal/internal/hybrid"
+	"semilocal/internal/perm"
+	"semilocal/internal/steadyant"
+)
+
+// Algorithm names a kernel-producing semi-local LCS algorithm.
+type Algorithm int
+
+const (
+	// RowMajor is sequential iterative combing in row-major order
+	// (Listing 1, semi_rowmajor).
+	RowMajor Algorithm = iota
+	// Antidiag is iterative combing over anti-diagonals with branching
+	// (semi_antidiag); parallelizable.
+	Antidiag
+	// AntidiagBranchless replaces the conditional with bitwise selection
+	// (the paper's semi_antidiag_SIMD analog); parallelizable.
+	AntidiagBranchless
+	// LoadBalanced computes the three anti-diagonal phases as independent
+	// braids composed by multiplication (semi_load_balanced).
+	LoadBalanced
+	// Recursive is pure recursive combing (Listing 3).
+	Recursive
+	// Hybrid is recursive splitting above a depth threshold, iterative
+	// combing below (Listing 6, semi_hybrid).
+	Hybrid
+	// GridReduction is the optimized recursion-free hybrid
+	// (Listing 7, semi_hybrid_iterative).
+	GridReduction
+)
+
+var algorithmNames = map[Algorithm]string{
+	RowMajor:           "semi_rowmajor",
+	Antidiag:           "semi_antidiag",
+	AntidiagBranchless: "semi_antidiag_simd",
+	LoadBalanced:       "semi_load_balanced",
+	Recursive:          "semi_recursive",
+	Hybrid:             "semi_hybrid",
+	GridReduction:      "semi_hybrid_iterative",
+}
+
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists every registered algorithm in a stable order.
+func Algorithms() []Algorithm {
+	return []Algorithm{RowMajor, Antidiag, AntidiagBranchless, LoadBalanced, Recursive, Hybrid, GridReduction}
+}
+
+// Config selects and parameterizes an algorithm.
+type Config struct {
+	// Algorithm to run; the zero value is RowMajor.
+	Algorithm Algorithm
+	// Workers enables thread-level parallelism where the algorithm
+	// supports it (values ≤ 1 are sequential).
+	Workers int
+	// Depth is the recursion depth of Hybrid before switching to
+	// iterative combing; ignored by other algorithms. 0 lets the
+	// algorithm pick a sensible default.
+	Depth int
+	// Tiles is the target tile count for GridReduction; 0 defaults to
+	// Workers.
+	Tiles int
+	// Use16 enables 16-bit strand indices in GridReduction tiles.
+	Use16 bool
+}
+
+// Solve computes the semi-local LCS kernel of a and b with the
+// configured algorithm.
+func Solve(a, b []byte, cfg Config) (*Kernel, error) {
+	var p perm.Permutation
+	switch cfg.Algorithm {
+	case RowMajor:
+		p = combing.RowMajor(a, b)
+	case Antidiag:
+		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers})
+	case AntidiagBranchless:
+		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers, Branchless: true})
+	case LoadBalanced:
+		p = combing.LoadBalanced(a, b, combing.Options{Workers: cfg.Workers, Branchless: true}, steadyant.Multiply)
+	case Recursive:
+		p = hybrid.Recursive(a, b, steadyant.Multiply)
+	case Hybrid:
+		depth := cfg.Depth
+		if depth == 0 {
+			depth = defaultHybridDepth(len(a), len(b), cfg.Workers)
+		}
+		p = hybrid.Hybrid(a, b, hybrid.Options{Depth: depth, Workers: cfg.Workers, Branchless: true})
+	case GridReduction:
+		p = hybrid.GridReduction(a, b, hybrid.GridOptions{
+			Workers: cfg.Workers, Tiles: cfg.Tiles, Use16: cfg.Use16, Branchless: true,
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", int(cfg.Algorithm))
+	}
+	return NewKernel(p, len(a), len(b)), nil
+}
+
+// defaultHybridDepth mirrors the paper's Figure 6 guidance: deeper
+// thresholds only pay off for longer inputs, and there is no point
+// splitting beyond the worker count.
+func defaultHybridDepth(m, n, workers int) int {
+	depth := 0
+	for size := min(m, n); size > 4096; size /= 2 {
+		depth++
+		if depth >= 6 {
+			break
+		}
+	}
+	if workers > 1 {
+		lg := 0
+		for 1<<lg < workers {
+			lg++
+		}
+		if lg > depth {
+			depth = lg
+		}
+	}
+	return depth
+}
+
+// Kernel is a semi-local LCS kernel: the permutation P(a,b) together
+// with the string lengths it was computed for.
+type Kernel struct {
+	p    perm.Permutation
+	m, n int
+
+	domOnce sync.Once
+	dom     *dominance.Tree
+}
+
+// NewKernel wraps a kernel permutation. The permutation order must be
+// m+n.
+func NewKernel(p perm.Permutation, m, n int) *Kernel {
+	if p.Size() != m+n {
+		panic(fmt.Sprintf("core: kernel order %d does not match m+n = %d", p.Size(), m+n))
+	}
+	return &Kernel{p: p, m: m, n: n}
+}
+
+// Permutation exposes the underlying kernel permutation.
+func (k *Kernel) Permutation() perm.Permutation { return k.p }
+
+// M returns len(a); N returns len(b).
+func (k *Kernel) M() int { return k.m }
+func (k *Kernel) N() int { return k.n }
+
+func (k *Kernel) tree() *dominance.Tree {
+	k.domOnce.Do(func() { k.dom = dominance.New(k.p.RowToCol()) })
+	return k.dom
+}
+
+// H returns the LCS matrix entry H(i,j) of Definition 3.3 for
+// i, j ∈ [0, m+n]: the LCS of a against the padded-b window
+// bPad[i : j+m), computed as j + m - i - #{(s,e) ∈ P : s ≥ i, e < j} in
+// O(log(m+n)).
+func (k *Kernel) H(i, j int) int {
+	if i < 0 || j < 0 || i > k.m+k.n || j > k.m+k.n {
+		panic(fmt.Sprintf("core: H(%d,%d) out of range [0,%d]", i, j, k.m+k.n))
+	}
+	return j + k.m - i - k.tree().CountDominated(i, j)
+}
+
+// Score returns the global LCS score LCS(a, b).
+func (k *Kernel) Score() int {
+	return combing.ScoreFromKernel(k.p, k.m, k.n)
+}
+
+// StringSubstring returns LCS(a, b[l:r)).
+func (k *Kernel) StringSubstring(l, r int) int {
+	if l < 0 || r > k.n || l > r {
+		panic(fmt.Sprintf("core: StringSubstring(%d,%d) out of range for n=%d", l, r, k.n))
+	}
+	return k.H(k.m+l, r)
+}
+
+// SubstringString returns LCS(a[u:v), b).
+func (k *Kernel) SubstringString(u, v int) int {
+	if u < 0 || v > k.m || u > v {
+		panic(fmt.Sprintf("core: SubstringString(%d,%d) out of range for m=%d", u, v, k.m))
+	}
+	// The window ?^(m-u) b ?^(v-m+n... ): wildcards absorb a's prefix
+	// a[:u] and suffix a[v:], leaving LCS(a[u:v), b).
+	return k.H(k.m-u, k.n+k.m-v) - u - (k.m - v)
+}
+
+// SuffixPrefix returns LCS(a[u:], b[:j]).
+func (k *Kernel) SuffixPrefix(u, j int) int {
+	if u < 0 || u > k.m || j < 0 || j > k.n {
+		panic(fmt.Sprintf("core: SuffixPrefix(%d,%d) out of range", u, j))
+	}
+	return k.H(k.m-u, j) - u
+}
+
+// PrefixSuffix returns LCS(a[:v), b[j:]).
+func (k *Kernel) PrefixSuffix(v, j int) int {
+	if v < 0 || v > k.m || j < 0 || j > k.n {
+		panic(fmt.Sprintf("core: PrefixSuffix(%d,%d) out of range", v, j))
+	}
+	// The window b[j:] ?^(m-v): trailing wildcards absorb a's suffix a[v:].
+	return k.H(k.m+j, k.m+k.n-v) - (k.m - v)
+}
+
+// WindowScores returns LCS(a, b[l:l+width)) for every l in
+// [0, n-width], in O(m+n) total time using the kernel directly (no
+// dominance structure needed): the dominated-count is maintained
+// incrementally as the window slides.
+func (k *Kernel) WindowScores(width int) []int {
+	if width < 0 || width > k.n {
+		panic(fmt.Sprintf("core: window width %d out of range [0,%d]", width, k.n))
+	}
+	r2c := k.p.RowToCol()
+	c2r := k.p.ColToRow()
+	// count(l) = #{(s,e) : s ≥ m+l, e < l+width}.
+	count := 0
+	for s := k.m; s < k.m+k.n; s++ {
+		if int(r2c[s]) < width {
+			count++
+		}
+	}
+	out := make([]int, k.n-width+1)
+	out[0] = width - count
+	for l := 1; l+width <= k.n; l++ {
+		// Window moves from [l-1, l-1+width) to [l, l+width).
+		// Strand starting at s = m+l-1 leaves the start range.
+		if int(r2c[k.m+l-1]) < l-1+width {
+			count--
+		}
+		// End l-1+width enters the end range.
+		if int(c2r[l-1+width]) >= k.m+l {
+			count++
+		}
+		out[l] = width - count
+	}
+	return out
+}
+
+func min(x, y int) int {
+	if x < y {
+		return x
+	}
+	return y
+}

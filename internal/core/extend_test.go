@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		a := randString(rng, rng.Intn(50), 4)
+		b := randString(rng, rng.Intn(50), 4)
+		k := mustSolve(t, a, b, Config{})
+		data, err := k.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalKernel(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.M() != k.M() || back.N() != k.N() || !back.Permutation().Equal(k.Permutation()) {
+			t.Fatal("round trip changed the kernel")
+		}
+		// Queries on the decoded kernel still work.
+		if back.Score() != k.Score() {
+			t.Fatal("decoded kernel scores differently")
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	k := mustSolve(t, []byte("hello"), []byte("world"), Config{})
+	data, err := k.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXX"), data[4:]...),
+		"truncated":    data[:len(data)-2],
+		"trailing":     append(append([]byte{}, data...), 0),
+		"index broken": append(append([]byte{}, data[:len(data)-1]...), 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, d := range cases {
+		if _, err := UnmarshalKernel(d); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Duplicate column: encode a non-permutation by hand.
+	bad := append([]byte{}, data...)
+	// The last two varints are small single-byte values for this size;
+	// make them equal.
+	bad[len(bad)-1] = bad[len(bad)-2]
+	if _, err := UnmarshalKernel(bad); err == nil {
+		t.Error("non-permutation accepted")
+	}
+}
+
+func TestExtendAMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 30; trial++ {
+		m1, m2, n := rng.Intn(25), 1+rng.Intn(25), 1+rng.Intn(25)
+		a1 := randString(rng, m1, 3)
+		suffix := randString(rng, m2, 3)
+		b := randString(rng, n, 3)
+		k := mustSolve(t, a1, b, Config{})
+		ext, err := k.ExtendA(suffix, b, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := append(append([]byte{}, a1...), suffix...)
+		want := mustSolve(t, full, b, Config{})
+		if !ext.Permutation().Equal(want.Permutation()) {
+			t.Fatalf("ExtendA differs from direct solve (m1=%d m2=%d n=%d)", m1, m2, n)
+		}
+	}
+}
+
+func TestExtendBMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 30; trial++ {
+		m, n1, n2 := 1+rng.Intn(25), rng.Intn(25), 1+rng.Intn(25)
+		a := randString(rng, m, 3)
+		b1 := randString(rng, n1, 3)
+		suffix := randString(rng, n2, 3)
+		k := mustSolve(t, a, b1, Config{})
+		ext, err := k.ExtendB(a, suffix, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := append(append([]byte{}, b1...), suffix...)
+		want := mustSolve(t, a, full, Config{})
+		if !ext.Permutation().Equal(want.Permutation()) {
+			t.Fatalf("ExtendB differs from direct solve (m=%d n1=%d n2=%d)", m, n1, n2)
+		}
+	}
+}
+
+func TestExtendEmptySuffixReturnsSame(t *testing.T) {
+	k := mustSolve(t, []byte("ab"), []byte("cd"), Config{})
+	ext, err := k.ExtendA(nil, []byte("cd"), Config{})
+	if err != nil || ext != k {
+		t.Fatalf("empty ExtendA should return the same kernel (err=%v)", err)
+	}
+}
+
+func TestStreamingExtension(t *testing.T) {
+	// Repeatedly extend a kernel character by character and check scores
+	// along the way — the streaming-comparison use case.
+	rng := rand.New(rand.NewSource(94))
+	b := randString(rng, 40, 3)
+	var a []byte
+	k := mustSolve(t, a, b, Config{})
+	for step := 0; step < 25; step++ {
+		c := randString(rng, 1, 3)
+		var err error
+		k, err = k.ExtendA(c, b, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a = append(a, c...)
+		want := mustSolve(t, a, b, Config{})
+		if k.Score() != want.Score() {
+			t.Fatalf("step %d: streaming score %d, want %d", step, k.Score(), want.Score())
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"semilocal/internal/perm"
+)
+
+// Kernel wire format: the magic "SLK1", then m, n and the m+n
+// row→column kernel indices, all as unsigned varints. A kernel is tiny
+// compared to the O(mn) work that produced it, so persisting one lets
+// later runs answer new substring queries without re-solving.
+
+var kernelMagic = []byte("SLK1")
+
+// MarshalBinary encodes the kernel. It implements
+// encoding.BinaryMarshaler.
+func (k *Kernel) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, len(kernelMagic)+binary.MaxVarintLen64*(2+k.m+k.n))
+	buf = append(buf, kernelMagic...)
+	buf = binary.AppendUvarint(buf, uint64(k.m))
+	buf = binary.AppendUvarint(buf, uint64(k.n))
+	for _, c := range k.p.RowToCol() {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return buf, nil
+}
+
+// UnmarshalKernel decodes a kernel produced by MarshalBinary, validating
+// the permutation.
+func UnmarshalKernel(data []byte) (*Kernel, error) {
+	if len(data) < len(kernelMagic) || string(data[:len(kernelMagic)]) != string(kernelMagic) {
+		return nil, fmt.Errorf("core: bad kernel magic")
+	}
+	data = data[len(kernelMagic):]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("core: truncated kernel encoding")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	m64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	n64, err := next()
+	if err != nil {
+		return nil, err
+	}
+	const maxLen = 1 << 40
+	if m64 > maxLen || n64 > maxLen {
+		return nil, fmt.Errorf("core: unreasonable kernel dimensions %d×%d", m64, n64)
+	}
+	m, n := int(m64), int(n64)
+	rowToCol := make([]int32, m+n)
+	for i := range rowToCol {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if v >= uint64(m+n) {
+			return nil, fmt.Errorf("core: kernel index %d out of range", v)
+		}
+		rowToCol[i] = int32(v)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after kernel", len(data))
+	}
+	p := perm.FromRowToCol(rowToCol)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid kernel: %w", err)
+	}
+	return NewKernel(p, m, n), nil
+}

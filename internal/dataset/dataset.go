@@ -1,0 +1,102 @@
+// Package dataset generates the paper's two input families and handles
+// FASTA I/O.
+//
+// Synthetic strings follow §5 of the paper: integer sequences sampled
+// from a normal distribution with zero mean and standard deviation σ,
+// rounded towards zero (for σ = 1 about 68% of characters are zero, so σ
+// tunes the match frequency), plus uniform and binary generators for the
+// prefix-LCS and bit-parallel experiments.
+//
+// The paper's real-life dataset — NCBI virus genomes of length up to
+// 134 000 — is not redistributable here, so SimulateGenomes produces a
+// synthetic stand-in with the properties the algorithms are sensitive
+// to: sequences over {A,C,G,T} of comparable length, related to each
+// other by a substitution/indel mutation process with controllable
+// divergence. See DESIGN.md for the substitution rationale.
+package dataset
+
+import (
+	"math/rand"
+)
+
+// Normal returns n characters sampled from N(0, σ²) and rounded towards
+// zero, offset into byte range (value v becomes byte(v+128), clamped).
+// Equal bytes correspond exactly to equal sampled integers, so match
+// statistics are preserved by the offset.
+func Normal(n int, sigma float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]byte, n)
+	for i := range s {
+		v := int(rng.NormFloat64() * sigma) // Go's int conversion truncates toward zero
+		switch {
+		case v < -128:
+			v = -128
+		case v > 127:
+			v = 127
+		}
+		s[i] = byte(v + 128)
+	}
+	return s
+}
+
+// Uniform returns n characters drawn uniformly from an alphabet of the
+// given size.
+func Uniform(n, alphabet int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(alphabet))
+	}
+	return s
+}
+
+// Binary returns n characters over {0, 1} with P(1) = pOne.
+func Binary(n int, pOne float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]byte, n)
+	for i := range s {
+		if rng.Float64() < pOne {
+			s[i] = 1
+		}
+	}
+	return s
+}
+
+// Genome is a named nucleotide sequence.
+type Genome struct {
+	Name string
+	Seq  []byte
+}
+
+var nucleotides = []byte("ACGT")
+
+// RandomGenome returns a uniformly random sequence over {A,C,G,T}.
+func RandomGenome(name string, length int, rng *rand.Rand) Genome {
+	seq := make([]byte, length)
+	for i := range seq {
+		seq[i] = nucleotides[rng.Intn(4)]
+	}
+	return Genome{Name: name, Seq: seq}
+}
+
+// Mutate returns a mutated copy of seq: each position suffers a
+// substitution with probability subRate; insertions and deletions each
+// occur with probability indelRate per position (so the output length
+// stays close to the input length in expectation).
+func Mutate(seq []byte, subRate, indelRate float64, rng *rand.Rand) []byte {
+	out := make([]byte, 0, len(seq)+len(seq)/16)
+	for _, c := range seq {
+		r := rng.Float64()
+		switch {
+		case r < indelRate: // deletion
+			continue
+		case r < 2*indelRate: // insertion before this position
+			out = append(out, nucleotides[rng.Intn(4)], c)
+		case r < 2*indelRate+subRate: // substitution
+			out = append(out, nucleotides[rng.Intn(4)])
+		default:
+			out = append(out, c)
+		}
+	}
+	return out
+}

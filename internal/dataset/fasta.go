@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// WriteFASTA writes genomes in FASTA format with 70-column sequence
+// lines.
+func WriteFASTA(w io.Writer, gs []Genome) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range gs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", g.Name); err != nil {
+			return err
+		}
+		for off := 0; off < len(g.Seq); off += 70 {
+			end := off + 70
+			if end > len(g.Seq) {
+				end = len(g.Seq)
+			}
+			if _, err := bw.Write(g.Seq[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses FASTA records. Sequence lines are concatenated;
+// blank lines are skipped. An error is returned when sequence data
+// precedes the first header.
+func ReadFASTA(r io.Reader) ([]Genome, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var gs []Genome
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			gs = append(gs, Genome{Name: string(line[1:])})
+			continue
+		}
+		if len(gs) == 0 {
+			return nil, fmt.Errorf("dataset: sequence data before first FASTA header")
+		}
+		gs[len(gs)-1].Seq = append(gs[len(gs)-1].Seq, line...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}

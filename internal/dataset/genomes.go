@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Lineage parameters of the simulated virus collection. Values are
+// chosen to mimic the paper's NCBI dataset: genomes tens of kilobases
+// long, pairwise divergent by a few percent (same viral family) with
+// occasional distant outliers.
+const (
+	defaultSubRate   = 0.01
+	defaultIndelRate = 0.001
+)
+
+// SimulateGenomes produces a family of related genomes: a random
+// ancestor of the given length and count-1 descendants obtained by
+// repeatedly mutating a randomly chosen earlier member, so the family
+// forms a tree of lineages with varying pairwise divergence.
+func SimulateGenomes(count, length int, seed int64) []Genome {
+	rng := rand.New(rand.NewSource(seed))
+	gs := make([]Genome, 0, count)
+	if count <= 0 {
+		return gs
+	}
+	gs = append(gs, RandomGenome("ancestor", length, rng))
+	for i := 1; i < count; i++ {
+		parent := gs[rng.Intn(len(gs))]
+		// Between one and four mutation rounds: deeper lineages diverge more.
+		rounds := 1 + rng.Intn(4)
+		seq := parent.Seq
+		for r := 0; r < rounds; r++ {
+			seq = Mutate(seq, defaultSubRate, defaultIndelRate, rng)
+		}
+		gs = append(gs, Genome{
+			Name: fmt.Sprintf("isolate_%02d_from_%s", i, parent.Name),
+			Seq:  seq,
+		})
+	}
+	return gs
+}
+
+// GenomePair returns two related genomes of roughly the given length,
+// the common case in the paper's real-life benchmark runs.
+func GenomePair(length int, seed int64) (a, b []byte) {
+	gs := SimulateGenomes(2, length, seed)
+	return gs[0].Seq, gs[1].Seq
+}

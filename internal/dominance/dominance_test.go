@@ -1,0 +1,101 @@
+package dominance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semilocal/internal/perm"
+)
+
+func bruteCount(val []int32, lo, hi, v int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(val) {
+		hi = len(val)
+	}
+	c := 0
+	for p := lo; p < hi; p++ {
+		if int(val[p]) < v {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCountLessExhaustiveSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for n := 0; n <= 17; n++ {
+		val := perm.Random(n, rng).RowToCol()
+		tree := New(val)
+		for lo := 0; lo <= n; lo++ {
+			for hi := lo; hi <= n; hi++ {
+				for v := -1; v <= n+1; v++ {
+					want := bruteCount(val, lo, hi, v)
+					if got := tree.CountLess(lo, hi, v); got != want {
+						t.Fatalf("n=%d CountLess(%d,%d,%d) = %d, want %d (val=%v)",
+							n, lo, hi, v, got, want, val)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCountLessRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, n := range []int{100, 1000, 4097} {
+		val := perm.Random(n, rng).RowToCol()
+		tree := New(val)
+		for trial := 0; trial < 300; trial++ {
+			lo := rng.Intn(n + 1)
+			hi := lo + rng.Intn(n+1-lo)
+			v := rng.Intn(n + 1)
+			if got, want := tree.CountLess(lo, hi, v), bruteCount(val, lo, hi, v); got != want {
+				t.Fatalf("n=%d CountLess(%d,%d,%d) = %d, want %d", n, lo, hi, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCountLessProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw % 512)
+		rng := rand.New(rand.NewSource(seed))
+		val := perm.Random(n, rng).RowToCol()
+		tree := New(val)
+		for trial := 0; trial < 20; trial++ {
+			lo := rng.Intn(n + 1)
+			hi := lo + rng.Intn(n+1-lo)
+			v := rng.Intn(n+3) - 1
+			if tree.CountLess(lo, hi, v) != bruteCount(val, lo, hi, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountLessClamping(t *testing.T) {
+	tree := New([]int32{2, 0, 1})
+	if got := tree.CountLess(-5, 99, 99); got != 3 {
+		t.Fatalf("clamped full range = %d, want 3", got)
+	}
+	if got := tree.CountLess(2, 1, 3); got != 0 {
+		t.Fatalf("inverted range = %d, want 0", got)
+	}
+	if got := tree.CountDominated(1, 2); got != 2 {
+		t.Fatalf("CountDominated(1,2) = %d, want 2", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New(nil)
+	if tree.Size() != 0 || tree.CountLess(0, 0, 5) != 0 {
+		t.Fatal("empty tree misbehaves")
+	}
+}

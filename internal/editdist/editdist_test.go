@@ -1,0 +1,190 @@
+package editdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semilocal/internal/core"
+)
+
+func randString(rng *rand.Rand, n, sigma int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte('a' + rng.Intn(sigma))
+	}
+	return s
+}
+
+func TestDistanceDPKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"intention", "execution", 5},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Distance([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("Distance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKernelDistanceMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 50; trial++ {
+		a := randString(rng, rng.Intn(60), 1+rng.Intn(5))
+		b := randString(rng, rng.Intn(60), 1+rng.Intn(5))
+		k, err := Solve(a, b, core.Config{Algorithm: core.AntidiagBranchless})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := k.Distance(), Distance(a, b); got != want {
+			t.Fatalf("Distance(%q,%q) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestAllQuadrantDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 10; trial++ {
+		m, n := 1+rng.Intn(14), 1+rng.Intn(14)
+		a := randString(rng, m, 3)
+		b := randString(rng, n, 3)
+		k, err := Solve(a, b, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l <= n; l++ {
+			for r := l; r <= n; r++ {
+				if got, want := k.SubstringDistance(l, r), Distance(a, b[l:r]); got != want {
+					t.Fatalf("SubstringDistance(%d,%d) = %d, want %d (a=%q b=%q)", l, r, got, want, a, b)
+				}
+			}
+		}
+		for u := 0; u <= m; u++ {
+			for v := u; v <= m; v++ {
+				if got, want := k.SubstringStringDistance(u, v), Distance(a[u:v], b); got != want {
+					t.Fatalf("SubstringStringDistance(%d,%d) = %d, want %d (a=%q b=%q)", u, v, got, want, a, b)
+				}
+			}
+		}
+		for u := 0; u <= m; u++ {
+			for j := 0; j <= n; j++ {
+				if got, want := k.SuffixPrefixDistance(u, j), Distance(a[u:], b[:j]); got != want {
+					t.Fatalf("SuffixPrefixDistance(%d,%d) = %d, want %d (a=%q b=%q)", u, j, got, want, a, b)
+				}
+				if got, want := k.PrefixSuffixDistance(u, j), Distance(a[:u], b[j:]); got != want {
+					t.Fatalf("PrefixSuffixDistance(%d,%d) = %d, want %d (a=%q b=%q)", u, j, got, want, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 15; trial++ {
+		m, n := 1+rng.Intn(20), 1+rng.Intn(50)
+		a := randString(rng, m, 3)
+		b := randString(rng, n, 3)
+		k, err := Solve(a, b, core.Config{Algorithm: core.GridReduction, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, width := range []int{0, 1, n / 2, n} {
+			ds := k.WindowDistances(width)
+			for l, d := range ds {
+				if want := Distance(a, b[l:l+width]); d != want {
+					t.Fatalf("WindowDistances(%d)[%d] = %d, want %d", width, l, d, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBestMatchFindsPlant(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	pattern := randString(rng, 40, 4)
+	text := randString(rng, 400, 4)
+	// Plant a copy with two substitutions.
+	at := 123
+	copy(text[at:], pattern)
+	text[at+5] = pattern[5] ^ 1
+	text[at+20] = pattern[20] ^ 1
+	k, err := Solve(pattern, text, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, d := k.BestMatch(len(pattern))
+	if l != at || d != 2 {
+		t.Fatalf("BestMatch = (%d, %d), want (%d, 2)", l, d, at)
+	}
+}
+
+func TestSolveRejectsSentinel(t *testing.T) {
+	if _, err := Solve([]byte{0xff}, []byte("x"), core.Config{}); err == nil {
+		t.Fatal("sentinel in a accepted")
+	}
+	if _, err := Solve([]byte("x"), []byte{'a', 0xff}, core.Config{}); err == nil {
+		t.Fatal("sentinel in b accepted")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > 50 {
+			a = a[:50]
+		}
+		if len(b) > 50 {
+			b = b[:50]
+		}
+		d := Distance(a, b)
+		// Symmetry, identity, triangle-ish bounds.
+		if d != Distance(b, a) {
+			return false
+		}
+		if (d == 0) != (string(a) == string(b)) {
+			return false
+		}
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryPanicsOutOfRange(t *testing.T) {
+	k, err := Solve([]byte("ab"), []byte("cde"), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(){
+		"SubstringDistance":       func() { k.SubstringDistance(0, 4) },
+		"SubstringStringDistance": func() { k.SubstringStringDistance(2, 1) },
+		"WindowDistances":         func() { k.WindowDistances(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted out-of-range arguments", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,109 @@
+// Package monge implements explicit distribution (dominance-sum) matrices
+// of permutation matrices and their tropical (min-plus) distance product.
+//
+// For a permutation matrix P of order n, the distribution matrix is
+//
+//	PΣ(i, j) = #{(r, c) : P(r, c) = 1, r ≥ i, c < j},  i, j ∈ [0 … n].
+//
+// PΣ is a simple unit-Monge matrix, and by Tiskin's theorem the distance
+// product of two such matrices,
+//
+//	(PΣ ⊙ QΣ)(i, j) = min_k ( PΣ(i, k) + QΣ(k, j) ),
+//
+// is again the distribution matrix of a unique permutation, the sticky
+// braid product of P and Q. This package computes that product naively in
+// O(n³) time and O(n²) space. It is the correctness oracle for the
+// O(n log n) steady ant algorithm in package steadyant, and is also used
+// directly for tiny matrices.
+package monge
+
+import (
+	"fmt"
+
+	"semilocal/internal/perm"
+)
+
+// Distribution returns PΣ as an (n+1)×(n+1) row-major matrix,
+// Distribution(P)[i*(n+1)+j] = PΣ(i, j).
+func Distribution(p perm.Permutation) []int32 {
+	n := p.Size()
+	w := n + 1
+	d := make([]int32, w*w)
+	// d(i,j) counts nonzeros with r ≥ i, c < j. Fill bottom-up:
+	// d(i,j) = d(i+1,j) + #{c < j : P(i,c)=1}.
+	for i := n - 1; i >= 0; i-- {
+		c := p.Col(i)
+		row, below := d[i*w:(i+1)*w], d[(i+1)*w:(i+2)*w]
+		for j := 0; j <= n; j++ {
+			row[j] = below[j]
+			if c < j {
+				row[j]++
+			}
+		}
+	}
+	return d
+}
+
+// FromDistribution recovers the permutation whose distribution matrix is d
+// (of order n, so d is (n+1)×(n+1)): P(r, c) = d(r, c+1) - d(r, c) -
+// d(r+1, c+1) + d(r+1, c). It returns an error if d is not a valid
+// distribution matrix of a permutation.
+func FromDistribution(d []int32, n int) (perm.Permutation, error) {
+	w := n + 1
+	if len(d) != w*w {
+		return perm.Permutation{}, fmt.Errorf("monge: distribution matrix has %d entries, want %d", len(d), w*w)
+	}
+	rowToCol := make([]int32, n)
+	for i := range rowToCol {
+		rowToCol[i] = perm.None
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			v := d[r*w+c+1] - d[r*w+c] - d[(r+1)*w+c+1] + d[(r+1)*w+c]
+			switch v {
+			case 0:
+			case 1:
+				if rowToCol[r] != perm.None {
+					return perm.Permutation{}, fmt.Errorf("monge: row %d has two nonzeros", r)
+				}
+				rowToCol[r] = int32(c)
+			default:
+				return perm.Permutation{}, fmt.Errorf("monge: cross-difference %d at (%d,%d)", v, r, c)
+			}
+		}
+	}
+	p := perm.FromRowToCol(rowToCol)
+	if err := p.Validate(); err != nil {
+		return perm.Permutation{}, err
+	}
+	return p, nil
+}
+
+// MultiplyNaive computes the sticky braid product of P and Q via explicit
+// distribution matrices and the O(n³) min-plus product. P and Q must have
+// equal order.
+func MultiplyNaive(p, q perm.Permutation) perm.Permutation {
+	n := p.Size()
+	if q.Size() != n {
+		panic(fmt.Sprintf("monge: multiplying orders %d and %d", n, q.Size()))
+	}
+	dp, dq := Distribution(p), Distribution(q)
+	w := n + 1
+	prod := make([]int32, w*w)
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			best := dp[i*w] + dq[j] // k = 0
+			for k := 1; k <= n; k++ {
+				if v := dp[i*w+k] + dq[k*w+j]; v < best {
+					best = v
+				}
+			}
+			prod[i*w+j] = best
+		}
+	}
+	r, err := FromDistribution(prod, n)
+	if err != nil {
+		panic("monge: min-plus product is not unit-Monge: " + err.Error())
+	}
+	return r
+}

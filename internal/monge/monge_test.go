@@ -1,0 +1,147 @@
+package monge
+
+import (
+	"math/rand"
+	"testing"
+
+	"semilocal/internal/perm"
+)
+
+func TestDistributionIdentity(t *testing.T) {
+	// For the identity of order 2: nonzeros (0,0), (1,1).
+	// dΣ(i,j) = #{r ≥ i, c < j}.
+	d := Distribution(perm.Identity(2))
+	want := []int32{
+		0, 1, 2,
+		0, 0, 1,
+		0, 0, 0,
+	}
+	for k, w := range want {
+		if d[k] != w {
+			t.Fatalf("d[%d] = %d, want %d (full %v)", k, d[k], w, d)
+		}
+	}
+}
+
+func TestDistributionCorners(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(20) + 1
+		p := perm.Random(n, rng)
+		d := Distribution(p)
+		w := n + 1
+		if d[0*w+n] != int32(n) {
+			t.Fatalf("dΣ(0,n) = %d, want %d", d[0*w+n], n)
+		}
+		for j := 0; j <= n; j++ {
+			if d[n*w+j] != 0 {
+				t.Fatal("bottom edge must be zero")
+			}
+		}
+		for i := 0; i <= n; i++ {
+			if d[i*w+0] != 0 {
+				t.Fatal("left edge must be zero")
+			}
+		}
+	}
+}
+
+func TestFromDistributionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(25)
+		p := perm.Random(n, rng)
+		q, err := FromDistribution(Distribution(p), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("round trip: got %v want %v", q.RowToCol(), p.RowToCol())
+		}
+	}
+}
+
+func TestFromDistributionRejectsGarbage(t *testing.T) {
+	if _, err := FromDistribution([]int32{0, 0, 0}, 1); err == nil {
+		t.Fatal("accepted wrong size")
+	}
+	// Constant matrix has no nonzeros at all: not a permutation for n ≥ 1.
+	if _, err := FromDistribution(make([]int32, 4), 1); err == nil {
+		t.Fatal("accepted all-zero distribution")
+	}
+}
+
+func TestMultiplyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(15) + 1
+		p := perm.Random(n, rng)
+		id := perm.Identity(n)
+		if got := MultiplyNaive(p, id); !got.Equal(p) {
+			t.Fatalf("P ⊙ I ≠ P: got %v want %v", got.RowToCol(), p.RowToCol())
+		}
+		if got := MultiplyNaive(id, p); !got.Equal(p) {
+			t.Fatalf("I ⊙ P ≠ P: got %v want %v", got.RowToCol(), p.RowToCol())
+		}
+	}
+}
+
+// Sticky braid multiplication is idempotent on "fully crossed" braids:
+// the reverse permutation models a braid where every strand pair has
+// crossed, and further multiplication by itself keeps it reduced.
+func TestMultiplyReverseAbsorbs(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		rev := perm.Reverse(n)
+		if got := MultiplyNaive(rev, rev); !got.Equal(rev) {
+			t.Fatalf("rev ⊙ rev ≠ rev at n=%d: %v", n, got.RowToCol())
+		}
+	}
+}
+
+func TestMultiplyAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(12) + 1
+		p, q, r := perm.Random(n, rng), perm.Random(n, rng), perm.Random(n, rng)
+		left := MultiplyNaive(MultiplyNaive(p, q), r)
+		right := MultiplyNaive(p, MultiplyNaive(q, r))
+		if !left.Equal(right) {
+			t.Fatalf("associativity fails for n=%d", n)
+		}
+	}
+}
+
+func TestMultiplyMatchesDefinition(t *testing.T) {
+	// The product's distribution matrix must equal the min-plus product of
+	// the inputs' distribution matrices, pointwise.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(12) + 1
+		p, q := perm.Random(n, rng), perm.Random(n, rng)
+		c := MultiplyNaive(p, q)
+		dp, dq, dc := Distribution(p), Distribution(q), Distribution(c)
+		w := n + 1
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				best := dp[i*w] + dq[j]
+				for k := 1; k <= n; k++ {
+					if v := dp[i*w+k] + dq[k*w+j]; v < best {
+						best = v
+					}
+				}
+				if dc[i*w+j] != best {
+					t.Fatalf("CΣ(%d,%d) = %d, want %d", i, j, dc[i*w+j], best)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiplyPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch accepted")
+		}
+	}()
+	MultiplyNaive(perm.Identity(2), perm.Identity(3))
+}

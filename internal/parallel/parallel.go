@@ -1,0 +1,128 @@
+// Package parallel provides the small goroutine-based runtime used by the
+// parallel algorithms in this repository: a persistent worker pool with a
+// barriered parallel-for (the analog of the paper's OpenMP parallel loops
+// followed by a sync), and a bounded limiter for recursive task
+// parallelism (the analog of OpenMP tasks).
+package parallel
+
+import "sync"
+
+// span is a half-open index range handed to one worker.
+type span struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	done   *sync.WaitGroup
+}
+
+// Pool is a fixed set of persistent worker goroutines. A Pool amortizes
+// goroutine start-up across the many barriered loops of anti-diagonal
+// algorithms (one loop per anti-diagonal).
+type Pool struct {
+	workers []chan span
+}
+
+// NewPool starts n workers. n must be ≥ 1. Close must be called to stop
+// them.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{workers: make([]chan span, n)}
+	for i := range p.workers {
+		ch := make(chan span, 1)
+		p.workers[i] = ch
+		go func() {
+			for s := range ch {
+				s.fn(s.lo, s.hi)
+				s.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// For runs fn over [lo, hi) split into one contiguous span per worker and
+// returns when every span has completed (a barrier). fn must be safe to
+// run concurrently on disjoint spans. Empty ranges return immediately.
+func (p *Pool) For(lo, hi int, fn func(lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	w := len(p.workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(lo, hi)
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(w)
+	chunk := n / w
+	rem := n % w
+	start := lo
+	for i := 0; i < w; i++ {
+		end := start + chunk
+		if i < rem {
+			end++
+		}
+		p.workers[i] <- span{lo: start, hi: end, fn: fn, done: &done}
+		start = end
+	}
+	done.Wait()
+}
+
+// Close stops all workers. The Pool must not be used afterwards.
+func (p *Pool) Close() {
+	for _, ch := range p.workers {
+		close(ch)
+	}
+}
+
+// Limiter bounds the number of extra goroutines spawned by recursive
+// divide-and-conquer algorithms. The zero limiter runs everything inline.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter allows up to n concurrently spawned branches. n ≤ 0 yields a
+// purely sequential limiter.
+func NewLimiter(n int) *Limiter {
+	l := &Limiter{}
+	if n > 0 {
+		l.sem = make(chan struct{}, n)
+	}
+	return l
+}
+
+// Do runs left and right, executing left on a fresh goroutine when a
+// spawn slot is free and inline otherwise, and returns when both are
+// done. This is the fork-join primitive behind the paper's
+// "#pragma parallel task … task wait" structure.
+func (l *Limiter) Do(left, right func()) {
+	if l == nil || l.sem == nil {
+		left()
+		right()
+		return
+	}
+	select {
+	case l.sem <- struct{}{}:
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				<-l.sem
+				close(done)
+			}()
+			left()
+		}()
+		right()
+		<-done
+	default:
+		left()
+		right()
+	}
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 7, 100, 1001} {
+			hits := make([]int32, n)
+			p.For(0, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolForNonZeroBase(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum int64
+	p.For(10, 20, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		atomic.AddInt64(&sum, local)
+	})
+	if sum != 145 {
+		t.Fatalf("sum = %d, want 145", sum)
+	}
+}
+
+func TestPoolForIsBarrier(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	// Sequential dependency across iterations of an outer loop: each round
+	// must fully complete before the next reads its results.
+	buf := make([]int32, 64)
+	for round := 0; round < 50; round++ {
+		p.For(0, len(buf), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i]++
+			}
+		})
+		for i, v := range buf {
+			if v != int32(round+1) {
+				t.Fatalf("round %d: buf[%d] = %d", round, i, v)
+			}
+		}
+	}
+}
+
+func TestPoolEmptyAndNegativeRange(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	called := false
+	p.For(5, 5, func(lo, hi int) { called = true })
+	p.For(5, 3, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called on empty range")
+	}
+}
+
+func TestNewPoolClampsWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", p.Size())
+	}
+}
+
+func TestLimiterDoRunsBoth(t *testing.T) {
+	for _, n := range []int{0, 1, 4} {
+		l := NewLimiter(n)
+		var a, b int32
+		l.Do(func() { atomic.AddInt32(&a, 1) }, func() { atomic.AddInt32(&b, 1) })
+		if a != 1 || b != 1 {
+			t.Fatalf("limit=%d: a=%d b=%d", n, a, b)
+		}
+	}
+}
+
+func TestNilLimiterIsSequential(t *testing.T) {
+	var l *Limiter
+	order := []int{}
+	l.Do(func() { order = append(order, 1) }, func() { order = append(order, 2) })
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestLimiterRecursive(t *testing.T) {
+	l := NewLimiter(3)
+	var total int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			atomic.AddInt64(&total, 1)
+			return
+		}
+		l.Do(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(10)
+	if total != 1024 {
+		t.Fatalf("total = %d, want 1024", total)
+	}
+}

@@ -1,0 +1,75 @@
+package steadyant
+
+import "semilocal/internal/perm"
+
+// antPassage combines the expanded sub-results R_lo and R_hi into the
+// product permutation, following Tiskin's "steady ant" walk.
+//
+// Background. The product's distribution matrix is the pointwise minimum
+// of two candidates,
+//
+//	L(i,j) = R_loΣ(i,j) + #{R_hi columns < j}
+//	H(i,j) = R_hiΣ(i,j) + #{R_lo rows ≥ i},
+//
+// (k ≤ n/2 and k ≥ n/2 branches of the min-plus product respectively).
+// The difference D = H − L is 0 at the bottom-left corner (n, 0) and the
+// top-right corner (0, n) of the half-integer grid, never changes by more
+// than 1 per unit step, is non-decreasing in the upward direction and
+// non-increasing rightward. The min therefore switches from H (bottom
+// right region) to L (top left region) across a single monotone staircase
+// from (n,0) to (0,n) — the ant's path.
+//
+// The ant starts at (n, 0) and greedily moves up whenever doing so keeps
+// D ≤ 0, and right otherwise. Crossing row i-1 while at column j decides
+// that row's nonzero: an R_lo nonzero survives iff it lies strictly left
+// of the path (the L region keeps R_lo's cross-differences), an R_hi
+// nonzero survives iff it lies at or right of the path, and a corner
+// where the ant turns from rightward to upward movement deposits a fresh
+// nonzero at the cell diagonally below-left of the corner point.
+//
+// All four index arrays have length n with perm.None marking absences;
+// res receives the product's row→column array.
+func antPassage(loR2C, loC2R, hiR2C, hiC2R, res []int32) {
+	n := len(res)
+	i, j := n, 0
+	d := 0
+	for i > 0 {
+		// Change in D for a step up from (i, j) to (i-1, j).
+		r := i - 1
+		dUp := 0
+		if c := hiR2C[r]; c != perm.None && int(c) < j {
+			dUp++
+		}
+		if c := loR2C[r]; c != perm.None && int(c) >= j {
+			dUp++
+		}
+		if j >= n || d+dUp <= 0 {
+			// Move up, fixing the nonzero of row i-1.
+			d += dUp
+			wrote := false
+			if c := loR2C[r]; c != perm.None && int(c) < j {
+				res[r] = c
+				wrote = true
+			}
+			if c := hiR2C[r]; c != perm.None && int(c) >= j {
+				res[r] = c
+				wrote = true
+			}
+			if !wrote {
+				// The row's own nonzeros (if any) are bad; this row is
+				// completed by a fresh nonzero at the corner cell.
+				res[r] = int32(j - 1)
+			}
+			i--
+			continue
+		}
+		// Move right from (i, j) to (i, j+1).
+		if c := hiC2R[j]; c != perm.None && int(c) < i {
+			d--
+		}
+		if c := loC2R[j]; c != perm.None && int(c) >= i {
+			d--
+		}
+		j++
+	}
+}

@@ -1,0 +1,45 @@
+package steadyant
+
+import (
+	"fmt"
+
+	"semilocal/internal/perm"
+)
+
+// DirectSum returns the block-diagonal direct sum a ⊕ b: a acts on the
+// first a.Size() indices, b on the rest.
+func DirectSum(a, b perm.Permutation) perm.Permutation {
+	na, nb := a.Size(), b.Size()
+	out := make([]int32, na+nb)
+	for i := 0; i < na; i++ {
+		out[i] = int32(a.Col(i))
+	}
+	for i := 0; i < nb; i++ {
+		out[na+i] = int32(na + b.Col(i))
+	}
+	return perm.FromRowToCol(out)
+}
+
+// Compose implements the kernel composition of Theorem 3.4: given the
+// kernels k1 = P(a', b) and k2 = P(a”, b) with |a'| = m1, |a”| = m2,
+// |b| = n, it returns P(a'a”, b) of order m1+m2+n:
+//
+//	P(a'a'', b) = (I_{m2} ⊕ k1) ⊙ (k2 ⊕ I_{m1})
+//
+// In the canonical boundary order (left edge bottom-up, then top edge),
+// the strands of a” pass untouched below the braid of a' (hence the
+// identity block at the low indices of k1's extension), and the already
+// exited strands of a' pass untouched above the braid of a” (the high
+// identity block of k2's extension).
+//
+// mult supplies the braid multiplication; pass Multiply for the
+// sequential combined algorithm.
+func Compose(k1, k2 perm.Permutation, m1, m2, n int, mult func(p, q perm.Permutation) perm.Permutation) perm.Permutation {
+	if k1.Size() != m1+n || k2.Size() != m2+n {
+		panic(fmt.Sprintf("steadyant: Compose got orders %d,%d for m1=%d m2=%d n=%d",
+			k1.Size(), k2.Size(), m1, m2, n))
+	}
+	left := DirectSum(perm.Identity(m2), k1)
+	right := DirectSum(k2, perm.Identity(m1))
+	return mult(left, right)
+}

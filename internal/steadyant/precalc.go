@@ -1,0 +1,84 @@
+package steadyant
+
+import (
+	"sync"
+
+	"semilocal/internal/perm"
+)
+
+// The precalc optimization: all (5!)² = 14400 products of permutations of
+// order 5 are computed once and stored packed in 32-bit words (products
+// of smaller orders pad to the same keys, since the sticky product of
+// identity-padded braids is the identity-padded product). The table is
+// indexed by the pair of Lehmer ranks of the padded inputs.
+
+const factorial5 = 120
+
+var (
+	precalcOnce  sync.Once
+	precalcTable [factorial5 * factorial5]uint32
+)
+
+// rank5 computes the Lehmer rank of a permutation of order ≤ 5, treated
+// as padded with the identity up to order 5.
+func rank5(p []int32) int {
+	var buf [5]int32
+	n := len(p)
+	copy(buf[:n], p)
+	for i := n; i < 5; i++ {
+		buf[i] = int32(i)
+	}
+	// rank = Σ_i (#{j > i : buf[j] < buf[i]}) · (4-i)!
+	fact := [5]int{24, 6, 2, 1, 1}
+	rank := 0
+	for i := 0; i < 4; i++ {
+		smaller := 0
+		for j := i + 1; j < 5; j++ {
+			if buf[j] < buf[i] {
+				smaller++
+			}
+		}
+		rank += smaller * fact[i]
+	}
+	return rank
+}
+
+func buildPrecalc() {
+	perms := make([]perm.Permutation, 0, factorial5)
+	perm.All(precalcOrder, func(p perm.Permutation) { perms = append(perms, p) })
+	for _, p := range perms {
+		rp := rank5(p.RowToCol())
+		for _, q := range perms {
+			prod := multiplyAlloc(p.RowToCol(), q.RowToCol(), 1)
+			precalcTable[rp*factorial5+rank5(q.RowToCol())] = perm.Pack(perm.FromRowToCol(prod))
+		}
+	}
+}
+
+// multiplySmall resolves a base-case product of order ≤ precalcOrder.
+func multiplySmall(p, q []int32) []int32 {
+	res := make([]int32, len(p))
+	multiplySmallInto(p, q, res)
+	return res
+}
+
+// multiplySmallInto writes the product of p and q (order ≤ precalcOrder)
+// into dst, which may alias p or q.
+func multiplySmallInto(p, q, dst []int32) {
+	n := len(p)
+	if n == 1 {
+		dst[0] = 0
+		return
+	}
+	precalcOnce.Do(buildPrecalc)
+	w := precalcTable[rank5(p)*factorial5+rank5(q)]
+	for i := 0; i < n; i++ {
+		dst[i] = int32((w >> (4 * i)) & 0xf)
+	}
+}
+
+// WarmPrecalc forces construction of the precalc table so that timed
+// runs do not pay the one-time build cost.
+func WarmPrecalc() {
+	precalcOnce.Do(buildPrecalc)
+}

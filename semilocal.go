@@ -1,0 +1,110 @@
+// Package semilocal computes semi-local longest common subsequence (LCS)
+// scores: with one O(mn)-time computation it answers LCS queries for a
+// whole string a against every substring of b, every substring of a
+// against b, and all prefix/suffix combinations — the semi-local LCS
+// problem of Tiskin, in the algorithms of Mishin, Berezun and Tiskin,
+// "Efficient Parallel Algorithms for String Comparison" (ICPP 2021).
+//
+// The solution is held implicitly as a Kernel (a permutation of order
+// m+n, a reduced sticky braid): linear space, O(log(m+n)) per arbitrary
+// query, O(1) amortized per sliding-window query.
+//
+// Basic use:
+//
+//	k, err := semilocal.Solve(a, b, semilocal.Config{})
+//	score := k.Score()                  // LCS(a, b)
+//	windows := k.WindowScores(100)      // LCS(a, b[l:l+100)) for every l
+//	one := k.StringSubstring(200, 350)  // LCS(a, b[200:350))
+//
+// Algorithm selection, thread-level parallelism, and the bit-parallel
+// binary-alphabet fast path are configured through Config, BinaryLCS and
+// the Algorithm constants; see also cmd/semilocal for a command-line
+// interface and cmd/benchsuite for the paper's experiment harness.
+package semilocal
+
+import (
+	"semilocal/internal/bitlcs"
+	"semilocal/internal/core"
+	"semilocal/internal/editdist"
+	"semilocal/internal/lcs"
+)
+
+// Kernel is the implicit semi-local LCS solution; see the methods of
+// core.Kernel: Score, H, StringSubstring, SubstringString, SuffixPrefix,
+// PrefixSuffix, WindowScores.
+type Kernel = core.Kernel
+
+// Config selects and parameterizes a kernel algorithm. The zero value
+// runs sequential row-major iterative combing.
+type Config = core.Config
+
+// Algorithm names a kernel-producing algorithm.
+type Algorithm = core.Algorithm
+
+// The available algorithms; see the paper's evaluation for tradeoffs.
+// AntidiagBranchless is the fastest sequential choice on most inputs;
+// GridReduction is the strongest parallel choice.
+const (
+	RowMajor           = core.RowMajor
+	Antidiag           = core.Antidiag
+	AntidiagBranchless = core.AntidiagBranchless
+	LoadBalanced       = core.LoadBalanced
+	Recursive          = core.Recursive
+	Hybrid             = core.Hybrid
+	GridReduction      = core.GridReduction
+)
+
+// Solve computes the semi-local LCS kernel of a and b.
+func Solve(a, b []byte, cfg Config) (*Kernel, error) {
+	return core.Solve(a, b, cfg)
+}
+
+// LCS returns the (global) LCS score of a and b using plain linear-space
+// dynamic programming — the right tool when only one score is needed.
+// Use Solve when substring scores are wanted, or BinaryLCS for long
+// binary strings.
+func LCS(a, b []byte) int {
+	return lcs.PrefixRowMajor(a, b)
+}
+
+// BinaryLCS returns the LCS score of two strings over the alphabet
+// {0, 1} using the paper's bit-parallel combing algorithm — Boolean
+// logic and shifts only, O(mn/64) word operations. workers > 1 processes
+// independent word blocks in parallel. It panics on non-binary input.
+func BinaryLCS(a, b []byte, workers int) int {
+	return bitlcs.Score(a, b, bitlcs.FormulaOpt, bitlcs.Options{Workers: workers})
+}
+
+// GeneralBitLCS returns the LCS score of two strings over an arbitrary
+// byte alphabet using the bit-plane generalization of the paper's
+// bit-parallel combing algorithm (the open question in the paper's
+// conclusion): characters are coded into ceil(log2 sigma) bit planes and
+// the match word is the AND of per-plane agreements. Still Boolean
+// logic and shifts only — O(mn·log(sigma)/64) word operations.
+func GeneralBitLCS(a, b []byte, workers int) int {
+	return bitlcs.ScoreAlphabet(a, b, bitlcs.Options{Workers: workers})
+}
+
+// UnmarshalKernel decodes a kernel previously encoded with
+// Kernel.MarshalBinary, allowing substring queries without re-solving.
+func UnmarshalKernel(data []byte) (*Kernel, error) {
+	return core.UnmarshalKernel(data)
+}
+
+// EditKernel answers semi-local unit-cost edit-distance queries (see the
+// methods of editdist.Kernel: Distance, SubstringDistance,
+// WindowDistances, BestMatch, and the prefix/suffix variants).
+type EditKernel = editdist.Kernel
+
+// SolveEdit computes a semi-local edit-distance kernel via the blow-up
+// reduction to semi-local LCS (a 4× grid overhead over Solve). Inputs
+// must not contain the byte 0xff, which the reduction reserves.
+func SolveEdit(a, b []byte, cfg Config) (*EditKernel, error) {
+	return editdist.Solve(a, b, cfg)
+}
+
+// EditDistance returns the unit-cost Levenshtein distance of a and b by
+// linear-space dynamic programming.
+func EditDistance(a, b []byte) int {
+	return editdist.Distance(a, b)
+}

@@ -1,0 +1,85 @@
+package semilocal_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"semilocal"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	a := []byte("the quick brown fox jumps over the lazy dog")
+	b := []byte("pack my box with five dozen liquor jugs over the lazy fox")
+	k, err := semilocal.Solve(a, b, semilocal.Config{Algorithm: semilocal.GridReduction, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := k.Score(), semilocal.LCS(a, b); got != want {
+		t.Fatalf("kernel score %d, want %d", got, want)
+	}
+	scores := k.WindowScores(len(a))
+	best, at := -1, 0
+	for l, s := range scores {
+		if s > best {
+			best, at = s, l
+		}
+	}
+	if best != k.StringSubstring(at, at+len(a)) {
+		t.Fatal("window scan disagrees with direct query")
+	}
+}
+
+func TestBinaryLCSMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		a := make([]byte, rng.Intn(2000))
+		b := make([]byte, rng.Intn(2000))
+		for i := range a {
+			a[i] = byte(rng.Intn(2))
+		}
+		for i := range b {
+			b[i] = byte(rng.Intn(2))
+		}
+		for _, workers := range []int{1, 4} {
+			if got, want := semilocal.BinaryLCS(a, b, workers), semilocal.LCS(a, b); got != want {
+				t.Fatalf("BinaryLCS(workers=%d) = %d, want %d", workers, got, want)
+			}
+		}
+	}
+}
+
+func TestAllPublicAlgorithms(t *testing.T) {
+	a := []byte("GATTACA")
+	b := []byte("TACGATTA")
+	want := semilocal.LCS(a, b)
+	for _, alg := range []semilocal.Algorithm{
+		semilocal.RowMajor, semilocal.Antidiag, semilocal.AntidiagBranchless,
+		semilocal.LoadBalanced, semilocal.Recursive, semilocal.Hybrid, semilocal.GridReduction,
+	} {
+		k, err := semilocal.Solve(a, b, semilocal.Config{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if k.Score() != want {
+			t.Fatalf("%v: score %d, want %d", alg, k.Score(), want)
+		}
+	}
+}
+
+func TestGeneralBitLCSMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 20; trial++ {
+		a := make([]byte, rng.Intn(800))
+		b := make([]byte, rng.Intn(800))
+		sigma := 1 + rng.Intn(30)
+		for i := range a {
+			a[i] = byte(rng.Intn(sigma))
+		}
+		for i := range b {
+			b[i] = byte(rng.Intn(sigma))
+		}
+		if got, want := semilocal.GeneralBitLCS(a, b, 2), semilocal.LCS(a, b); got != want {
+			t.Fatalf("GeneralBitLCS = %d, want %d", got, want)
+		}
+	}
+}
