@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench figures figures-paper examples fuzz
+.PHONY: all build test race test-race check bench figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -13,6 +13,20 @@ test:
 
 race:
 	go test -race ./...
+
+# Race-detector lane over the packages that spawn goroutines (Pool.For
+# barriers, the recursive limiter, block-parallel bit operations) plus
+# the oracle-driven differential tests that exercise them.
+test-race:
+	go test -race ./internal/...
+
+# The full pre-merge gate: static checks, build, the whole test suite,
+# and the race lane. CI runs exactly this.
+check:
+	go vet ./...
+	go build ./...
+	go test ./...
+	$(MAKE) test-race
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -32,8 +46,19 @@ examples:
 	go run ./examples/timeseries
 	go run ./examples/fuzzysearch
 
-# Short fuzzing passes over the three fuzz targets.
+# Short fuzzing passes over every fuzz target.
 fuzz:
 	go test -fuzz FuzzKernelAgreement -fuzztime 30s ./internal/combing
 	go test -fuzz FuzzBinaryScore -fuzztime 30s ./internal/bitlcs
 	go test -fuzz FuzzMultiply -fuzztime 30s ./internal/steadyant
+	go test -fuzz FuzzDifferential -fuzztime 30s ./internal/core
+	go test -fuzz FuzzEditWindows -fuzztime 30s ./internal/editdist
+
+# Ten-second smoke pass per target — quick enough for CI, long enough to
+# mutate beyond the checked-in seed corpora under testdata/fuzz.
+fuzz-smoke:
+	go test -fuzz FuzzKernelAgreement -fuzztime 10s ./internal/combing
+	go test -fuzz FuzzBinaryScore -fuzztime 10s ./internal/bitlcs
+	go test -fuzz FuzzMultiply -fuzztime 10s ./internal/steadyant
+	go test -fuzz FuzzDifferential -fuzztime 10s ./internal/core
+	go test -fuzz FuzzEditWindows -fuzztime 10s ./internal/editdist

@@ -1,0 +1,77 @@
+// Differential tests pinning the bit-parallel scorers to the quadratic
+// oracle on the adversarial input families (external test package for
+// symmetry with the other oracle suites).
+package bitlcs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"semilocal/internal/bitlcs"
+	"semilocal/internal/oracle"
+)
+
+func toBinary(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[i] = c & 1
+	}
+	return out
+}
+
+func TestBinaryVersionsMatchOracle(t *testing.T) {
+	for _, pair := range oracle.AdversarialPairs() {
+		a, b := toBinary(pair.A), toBinary(pair.B)
+		want := oracle.Score(a, b)
+		for _, v := range []bitlcs.Version{bitlcs.Old, bitlcs.MemOpt, bitlcs.FormulaOpt} {
+			for _, workers := range []int{0, 2, 4} {
+				got := bitlcs.Score(a, b, v, bitlcs.Options{Workers: workers, MinBlocks: 1})
+				if got != want {
+					t.Fatalf("%s: %v workers=%d got %d, want %d", pair.Name, v, workers, got, want)
+				}
+			}
+		}
+		if got := bitlcs.CIPR(a, b); got != want {
+			t.Fatalf("%s: CIPR got %d, want %d", pair.Name, got, want)
+		}
+	}
+}
+
+func TestScoreAlphabetMatchesOracle(t *testing.T) {
+	for _, pair := range oracle.AdversarialPairs() {
+		want := oracle.Score(pair.A, pair.B)
+		for _, workers := range []int{0, 3} {
+			got := bitlcs.ScoreAlphabet(pair.A, pair.B, bitlcs.Options{Workers: workers, MinBlocks: 1})
+			if got != want {
+				t.Fatalf("%s: workers=%d got %d, want %d", pair.Name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestScoreAlphabetWordBoundaries sweeps lengths across the 64-bit word
+// boundary, where the ragged-word masking of the block algorithms lives.
+func TestScoreAlphabetWordBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, m := range []int{63, 64, 65, 127, 128, 129} {
+		for _, n := range []int{1, 63, 64, 65, 200} {
+			a := make([]byte, m)
+			b := make([]byte, n)
+			for i := range a {
+				a[i] = byte(rng.Intn(5))
+			}
+			for i := range b {
+				b[i] = byte(rng.Intn(5))
+			}
+			want := oracle.Score(a, b)
+			if got := bitlcs.ScoreAlphabet(a, b, bitlcs.Options{}); got != want {
+				t.Fatalf("m=%d n=%d: got %d, want %d", m, n, got, want)
+			}
+			a01, b01 := toBinary(a), toBinary(b)
+			want01 := oracle.Score(a01, b01)
+			if got := bitlcs.Score(a01, b01, bitlcs.FormulaOpt, bitlcs.Options{Workers: 2, MinBlocks: 1}); got != want01 {
+				t.Fatalf("binary m=%d n=%d: got %d, want %d", m, n, got, want01)
+			}
+		}
+	}
+}

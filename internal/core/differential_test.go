@@ -1,0 +1,83 @@
+// Differential tests pinning every algorithm configuration to the
+// quadratic oracle. This lives in an external test package because
+// internal/oracle imports core.
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"semilocal/internal/core"
+	"semilocal/internal/oracle"
+)
+
+// TestDifferentialAdversarial runs the full differential driver — all
+// seven algorithms across their worker/depth/tile configuration matrix,
+// the bit-parallel scorers, and the edit-distance reduction — on the
+// fixed adversarial input families.
+func TestDifferentialAdversarial(t *testing.T) {
+	for _, pair := range oracle.AdversarialPairs() {
+		pair := pair
+		t.Run(pair.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := oracle.CheckAll(pair.A, pair.B); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialRandom drives random pairs over alphabets from unary
+// to full-byte through the same battery.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for _, sigma := range []int{1, 2, 4, 26, 256} {
+		a, b := oracle.RandomPair(rng, 70, sigma)
+		if err := oracle.CheckAll(a, b); err != nil {
+			t.Fatalf("sigma=%d: %v", sigma, err)
+		}
+	}
+}
+
+// TestConfigNegativeWorkersIsSequential pins the documented contract
+// that Workers ≤ 1 (including negative values) runs sequentially and
+// produces the same kernel.
+func TestConfigNegativeWorkersIsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2027))
+	a, b := oracle.RandomPair(rng, 60, 3)
+	want, err := core.Solve(a, b, core.Config{Algorithm: core.RowMajor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range core.Algorithms() {
+		for _, workers := range []int{-8, -1, 0} {
+			k, err := core.Solve(a, b, core.Config{Algorithm: alg, Workers: workers})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", alg, workers, err)
+			}
+			if !k.Permutation().Equal(want.Permutation()) {
+				t.Fatalf("%v workers=%d: kernel differs", alg, workers)
+			}
+		}
+	}
+}
+
+// FuzzDifferential is the continuous version of the driver: arbitrary
+// byte strings, capped so the quadratic oracle stays fast, through every
+// algorithm configuration. The seed corpus under testdata/fuzz covers
+// the adversarial families; `go test` replays it on every run.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte("abcabba"), []byte("cbabac"))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) > 48 {
+			a = a[:48]
+		}
+		if len(b) > 48 {
+			b = b[:48]
+		}
+		if err := oracle.CheckAll(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

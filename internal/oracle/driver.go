@@ -1,0 +1,156 @@
+package oracle
+
+import (
+	"fmt"
+
+	"semilocal/internal/bitlcs"
+	"semilocal/internal/core"
+	"semilocal/internal/editdist"
+)
+
+// Configs enumerates every core.Algorithm across the worker counts,
+// recursion depths, tile counts and index widths that select different
+// code paths, including the deliberately out-of-range worker values that
+// Config documents as sequential. This is the configuration matrix the
+// differential driver pins to the oracle.
+func Configs() []core.Config {
+	cfgs := []core.Config{
+		{Algorithm: core.RowMajor},
+		{Algorithm: core.Recursive},
+	}
+	for _, workers := range []int{-1, 0, 1, 2, 4} {
+		cfgs = append(cfgs,
+			core.Config{Algorithm: core.Antidiag, Workers: workers},
+			core.Config{Algorithm: core.AntidiagBranchless, Workers: workers},
+			core.Config{Algorithm: core.LoadBalanced, Workers: workers},
+		)
+	}
+	for _, workers := range []int{0, 2, 3} {
+		for _, depth := range []int{0, 1, 2, 4} {
+			cfgs = append(cfgs, core.Config{Algorithm: core.Hybrid, Workers: workers, Depth: depth})
+		}
+		for _, tiles := range []int{0, 1, 3, 7} {
+			cfgs = append(cfgs,
+				core.Config{Algorithm: core.GridReduction, Workers: workers, Tiles: tiles},
+				core.Config{Algorithm: core.GridReduction, Workers: workers, Tiles: tiles, Use16: true},
+			)
+		}
+	}
+	return cfgs
+}
+
+// CheckAll is the differential driver: it solves (a, b) with every
+// configuration of every registered algorithm, requires all kernels to
+// be identical, validates the reference kernel exhaustively against the
+// quadratic oracle, checks the flip theorem metamorphically, and pins
+// the bit-parallel scorers and the edit-distance reduction to the oracle
+// on the same inputs. Any discrepancy is reported with the configuration
+// that produced it.
+func CheckAll(a, b []byte) error {
+	ref, err := core.Solve(a, b, core.Config{Algorithm: core.RowMajor})
+	if err != nil {
+		return fmt.Errorf("oracle: reference solve: %w", err)
+	}
+	if err := CheckKernel(ref, a, b); err != nil {
+		return fmt.Errorf("reference kernel (%v): %w", core.RowMajor, err)
+	}
+	for _, cfg := range Configs() {
+		k, err := core.Solve(a, b, cfg)
+		if err != nil {
+			return fmt.Errorf("%+v: %w", cfg, err)
+		}
+		if !k.Permutation().Equal(ref.Permutation()) {
+			return fmt.Errorf("%+v: kernel differs from reference (m=%d n=%d)", cfg, len(a), len(b))
+		}
+	}
+	flipped, err := core.Solve(b, a, core.Config{Algorithm: core.AntidiagBranchless})
+	if err != nil {
+		return fmt.Errorf("oracle: flipped solve: %w", err)
+	}
+	if err := CheckFlip(ref.Permutation(), flipped.Permutation()); err != nil {
+		return err
+	}
+	if err := checkBitParallel(a, b); err != nil {
+		return err
+	}
+	return checkEditDistance(a, b)
+}
+
+// checkBitParallel pins the binary bit-parallel scorers (on the low-bit
+// projection of the inputs) and the general-alphabet bit-plane scorer
+// (on the raw inputs) to the oracle DP.
+func checkBitParallel(a, b []byte) error {
+	a01 := projectBinary(a)
+	b01 := projectBinary(b)
+	wantBin := Score(a01, b01)
+	for _, v := range []bitlcs.Version{bitlcs.Old, bitlcs.MemOpt, bitlcs.FormulaOpt} {
+		for _, workers := range []int{0, 2} {
+			if got := bitlcs.Score(a01, b01, v, bitlcs.Options{Workers: workers, MinBlocks: 1}); got != wantBin {
+				return fmt.Errorf("bitlcs.Score(%v, workers=%d) = %d, want %d", v, workers, got, wantBin)
+			}
+		}
+	}
+	if got := bitlcs.CIPR(a01, b01); got != wantBin {
+		return fmt.Errorf("bitlcs.CIPR = %d, want %d", got, wantBin)
+	}
+	want := Score(a, b)
+	for _, workers := range []int{0, 2} {
+		if got := bitlcs.ScoreAlphabet(a, b, bitlcs.Options{Workers: workers, MinBlocks: 1}); got != want {
+			return fmt.Errorf("bitlcs.ScoreAlphabet(workers=%d) = %d, want %d", workers, got, want)
+		}
+	}
+	return nil
+}
+
+// checkEditDistance pins the blow-up reduction to the oracle Levenshtein
+// DP: the global distance, a few window widths, and sampled substring
+// windows. Inputs are projected away from the reserved sentinel byte so
+// arbitrary (e.g. fuzzer-chosen) bytes remain usable.
+func checkEditDistance(a, b []byte) error {
+	a = dropSentinel(a)
+	b = dropSentinel(b)
+	k, err := editdist.Solve(a, b, core.Config{Algorithm: core.GridReduction, Workers: 2})
+	if err != nil {
+		return fmt.Errorf("editdist.Solve: %w", err)
+	}
+	if got, want := k.Distance(), EditDistance(a, b); got != want {
+		return fmt.Errorf("editdist.Distance = %d, want %d", got, want)
+	}
+	n := len(b)
+	for _, width := range windowWidths(n) {
+		ds := k.WindowDistances(width)
+		for l, got := range ds {
+			if want := EditDistance(a, b[l:l+width]); got != want {
+				return fmt.Errorf("editdist.WindowDistances(%d)[%d] = %d, want %d", width, l, got, want)
+			}
+		}
+	}
+	s := sampleStride(n)
+	for l := 0; l <= n; l += s {
+		for r := l; r <= n; r += s {
+			if got, want := k.SubstringDistance(l, r), EditDistance(a, b[l:r]); got != want {
+				return fmt.Errorf("editdist.SubstringDistance(%d,%d) = %d, want %d", l, r, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func projectBinary(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[i] = c & 1
+	}
+	return out
+}
+
+func dropSentinel(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		if c == editdist.Sentinel {
+			c = 0xfe
+		}
+		out[i] = c
+	}
+	return out
+}

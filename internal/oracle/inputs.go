@@ -1,0 +1,63 @@
+package oracle
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// Pair is a named input pair for differential testing.
+type Pair struct {
+	Name string
+	A, B []byte
+}
+
+// AdversarialPairs returns the fixed input families that historically
+// break string algorithms: empty strings, extreme length skew,
+// single characters, unary and periodic strings, near-binary noise, and
+// identical/reversed inputs. Every differential test in the repository
+// iterates these in addition to random pairs.
+func AdversarialPairs() []Pair {
+	period3 := bytes.Repeat([]byte("abc"), 20)
+	period2 := bytes.Repeat([]byte("ba"), 25)
+	nearBinary := bytes.Repeat([]byte{0, 1, 1, 0, 1, 0, 0, 1}, 8)
+	nearBinary = append(nearBinary, 2, 0, 1, 2)
+	rng := rand.New(rand.NewSource(0x5eed))
+	randomA := randString(rng, 48, 4)
+	randomB := randString(rng, 37, 4)
+	reversed := make([]byte, len(randomA))
+	for i, c := range randomA {
+		reversed[len(randomA)-1-i] = c
+	}
+	return []Pair{
+		{"empty/empty", nil, nil},
+		{"empty/short", nil, []byte("ab")},
+		{"short/empty", []byte("xyz"), nil},
+		{"single/match", []byte("a"), []byte("a")},
+		{"single/mismatch", []byte("a"), []byte("b")},
+		{"unary/equal", bytes.Repeat([]byte("a"), 30), bytes.Repeat([]byte("a"), 30)},
+		{"unary/skew", bytes.Repeat([]byte("a"), 5), bytes.Repeat([]byte("a"), 60)},
+		{"unary/disjoint", bytes.Repeat([]byte("a"), 20), bytes.Repeat([]byte("b"), 25)},
+		{"periodic/2v2", bytes.Repeat([]byte("ab"), 20), period2},
+		{"periodic/3v2", period3, period2},
+		{"skew/m>>n", randString(rng, 90, 3), []byte("ba")},
+		{"skew/n>>m", []byte("b"), randString(rng, 90, 3)},
+		{"near-binary", nearBinary, bytes.Repeat([]byte{1, 0, 0, 1}, 14)},
+		{"identical", randomA, append([]byte(nil), randomA...)},
+		{"reversed", randomA, reversed},
+		{"random", randomA, randomB},
+	}
+}
+
+// RandomPair draws a pair with independent lengths in [0, maxLen] over a
+// sigma-letter alphabet.
+func RandomPair(rng *rand.Rand, maxLen, sigma int) (a, b []byte) {
+	return randString(rng, rng.Intn(maxLen+1), sigma), randString(rng, rng.Intn(maxLen+1), sigma)
+}
+
+func randString(rng *rand.Rand, n, sigma int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(sigma))
+	}
+	return s
+}

@@ -1,0 +1,201 @@
+package oracle
+
+import (
+	"fmt"
+
+	"semilocal/internal/core"
+	"semilocal/internal/monge"
+	"semilocal/internal/perm"
+)
+
+// CheckPermutation verifies that p is a valid permutation of the given
+// order — the most basic kernel invariant: P(a, b) permutes m+n strands.
+func CheckPermutation(p perm.Permutation, order int) error {
+	if p.Size() != order {
+		return fmt.Errorf("oracle: kernel order %d, want %d", p.Size(), order)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("oracle: kernel is not a permutation: %w", err)
+	}
+	return nil
+}
+
+// CheckUnitMonge verifies that the distribution matrix PΣ of p is simple
+// unit-Monge, from the definition: its density (the cross-difference at
+// every cell) must be exactly the permutation matrix of p, and the
+// distribution must vanish on the left and bottom boundaries.
+func CheckUnitMonge(p perm.Permutation) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n := p.Size()
+	w := n + 1
+	d := monge.Distribution(p)
+	for i := 0; i <= n; i++ {
+		if d[i*w] != 0 {
+			return fmt.Errorf("oracle: PΣ(%d,0) = %d, want 0", i, d[i*w])
+		}
+	}
+	for j := 0; j <= n; j++ {
+		if d[n*w+j] != 0 {
+			return fmt.Errorf("oracle: PΣ(%d,%d) = %d, want 0", n, j, d[n*w+j])
+		}
+	}
+	if int(d[n]) != n {
+		return fmt.Errorf("oracle: PΣ(0,%d) = %d, want %d", n, d[n], n)
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			v := d[r*w+c+1] - d[r*w+c] - d[(r+1)*w+c+1] + d[(r+1)*w+c]
+			want := int32(0)
+			if p.Col(r) == c {
+				want = 1
+			}
+			if v != want {
+				return fmt.Errorf("oracle: density at (%d,%d) is %d, want %d", r, c, v, want)
+			}
+		}
+	}
+	back, err := monge.FromDistribution(d, n)
+	if err != nil {
+		return fmt.Errorf("oracle: distribution does not invert: %w", err)
+	}
+	if !back.Equal(p) {
+		return fmt.Errorf("oracle: distribution round trip changed the permutation at order %d", n)
+	}
+	return nil
+}
+
+// CheckFlip verifies Theorem 3.5: the kernel of (b, a) rotated by 180°
+// is the kernel of (a, b).
+func CheckFlip(kab, kba perm.Permutation) error {
+	if kab.Size() != kba.Size() {
+		return fmt.Errorf("oracle: flip orders differ: %d vs %d", kab.Size(), kba.Size())
+	}
+	if !kba.Rotate180().Equal(kab) {
+		return fmt.Errorf("oracle: Rotate180(P(b,a)) != P(a,b) at order %d", kab.Size())
+	}
+	return nil
+}
+
+// Mult is a sticky braid multiplication under test.
+type Mult func(p, q perm.Permutation) perm.Permutation
+
+// CheckAssociativity verifies on the triple (p, q, r) that mult agrees
+// with the naive O(n³) min-plus oracle and associates:
+// (p⊙q)⊙r == p⊙(q⊙r), both orders matching the naive product.
+func CheckAssociativity(p, q, r perm.Permutation, mult Mult) error {
+	pq, qr := mult(p, q), mult(q, r)
+	if want := monge.MultiplyNaive(p, q); !pq.Equal(want) {
+		return fmt.Errorf("oracle: p⊙q disagrees with min-plus oracle at order %d", p.Size())
+	}
+	if want := monge.MultiplyNaive(q, r); !qr.Equal(want) {
+		return fmt.Errorf("oracle: q⊙r disagrees with min-plus oracle at order %d", q.Size())
+	}
+	left, right := mult(pq, r), mult(p, qr)
+	if !left.Equal(right) {
+		return fmt.Errorf("oracle: (p⊙q)⊙r != p⊙(q⊙r) at order %d", p.Size())
+	}
+	if want := monge.MultiplyNaive(pq, r); !left.Equal(want) {
+		return fmt.Errorf("oracle: triple product disagrees with min-plus oracle at order %d", p.Size())
+	}
+	return nil
+}
+
+// CheckNeutral verifies that the identity permutation is neutral for
+// mult and that multiplication preserves order.
+func CheckNeutral(p perm.Permutation, mult Mult) error {
+	id := perm.Identity(p.Size())
+	if got := mult(p, id); !got.Equal(p) {
+		return fmt.Errorf("oracle: p⊙I != p at order %d", p.Size())
+	}
+	if got := mult(id, p); !got.Equal(p) {
+		return fmt.Errorf("oracle: I⊙p != p at order %d", p.Size())
+	}
+	return nil
+}
+
+// CheckKernel runs the full battery on a solved kernel: permutation
+// validity, unit-Monge structure, exhaustive H-matrix equality with the
+// quadratic oracle (plus the Monge shape of that matrix), window scores
+// against the oracle rows, sampled quadrant accessors against direct
+// substring DP, and the global score.
+func CheckKernel(k *core.Kernel, a, b []byte) error {
+	m, n := len(a), len(b)
+	if k.M() != m || k.N() != n {
+		return fmt.Errorf("oracle: kernel claims %d×%d, strings are %d×%d", k.M(), k.N(), m, n)
+	}
+	if err := CheckPermutation(k.Permutation(), m+n); err != nil {
+		return err
+	}
+	if err := CheckUnitMonge(k.Permutation()); err != nil {
+		return err
+	}
+	h := HMatrix(a, b)
+	if err := CheckMongeH(h); err != nil {
+		return err
+	}
+	for i := 0; i <= m+n; i++ {
+		for j := 0; j <= m+n; j++ {
+			if got := k.H(i, j); got != h[i][j] {
+				return fmt.Errorf("oracle: H(%d,%d) = %d, want %d (m=%d n=%d)", i, j, got, h[i][j], m, n)
+			}
+		}
+	}
+	if got, want := k.Score(), Score(a, b); got != want {
+		return fmt.Errorf("oracle: Score = %d, want %d", got, want)
+	}
+	for _, width := range windowWidths(n) {
+		scores := k.WindowScores(width)
+		if len(scores) != n-width+1 {
+			return fmt.Errorf("oracle: WindowScores(%d) has %d entries, want %d", width, len(scores), n-width+1)
+		}
+		for l, got := range scores {
+			if want := h[m+l][l+width]; got != want {
+				return fmt.Errorf("oracle: WindowScores(%d)[%d] = %d, want %d", width, l, got, want)
+			}
+		}
+	}
+	// Quadrant accessors against direct substring DP, sampled so large
+	// inputs stay affordable; small inputs are covered exhaustively.
+	sa := sampleStride(m)
+	sb := sampleStride(n)
+	for u := 0; u <= m; u += sa {
+		for v := u; v <= m; v += sa {
+			if got, want := k.SubstringString(u, v), SubstringString(a, b, u, v); got != want {
+				return fmt.Errorf("oracle: SubstringString(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+		for j := 0; j <= n; j += sb {
+			if got, want := k.SuffixPrefix(u, j), SuffixPrefix(a, b, u, j); got != want {
+				return fmt.Errorf("oracle: SuffixPrefix(%d,%d) = %d, want %d", u, j, got, want)
+			}
+			if got, want := k.PrefixSuffix(u, j), PrefixSuffix(a, b, u, j); got != want {
+				return fmt.Errorf("oracle: PrefixSuffix(%d,%d) = %d, want %d", u, j, got, want)
+			}
+		}
+	}
+	for l := 0; l <= n; l += sb {
+		for r := l; r <= n; r += sb {
+			if got, want := k.StringSubstring(l, r), StringSubstring(a, b, l, r); got != want {
+				return fmt.Errorf("oracle: StringSubstring(%d,%d) = %d, want %d", l, r, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func windowWidths(n int) []int {
+	ws := []int{0, n}
+	if n >= 2 {
+		ws = append(ws, 1, n/2)
+	}
+	return ws
+}
+
+func sampleStride(l int) int {
+	if l <= 24 {
+		return 1
+	}
+	return l/24 + 1
+}

@@ -1,0 +1,175 @@
+// Package oracle is the independent correctness layer for every kernel
+// algorithm in this repository. It contains no clever algorithms at all:
+// a naive quadratic dynamic program recomputes the full semi-local H
+// matrix of Definition 3.3 directly from the wildcard-padded grid, each
+// semi-local query class is answered by plain substring DP, and the
+// algebraic invariants of Tiskin's framework (kernel is a permutation of
+// order m+n, the distribution matrix is simple unit-Monge, H is
+// supermodular, the flip of Theorem 3.5, steady-ant associativity) are
+// checked from their definitions. The differential driver in driver.go
+// then pins every fast path — all core.Algorithm configurations, the
+// bit-parallel scorers, and the edit-distance reduction — to this
+// reference on the same inputs.
+//
+// Everything here is deliberately slow, allocation-heavy and simple;
+// nothing in this package may be reused by production code paths.
+package oracle
+
+import "fmt"
+
+// Score returns LCS(a, b) by the full-table dynamic program. It is
+// implemented locally (not via package lcs) so that the oracle shares no
+// code with the implementations it judges.
+func Score(a, b []byte) int {
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// HMatrix returns the full (m+n+1)×(m+n+1) semi-local LCS matrix H of
+// Definition 3.3, computed directly from its definition: with
+// bPad = ?^m b ?^m (? a wildcard matching every character),
+//
+//	H(i, j) = LCS(a, bPad[i : j+m))   for j+m ≥ i,
+//	H(i, j) = j + m - i               for j+m < i (the formal negative
+//	                                  continuation of the matrix).
+//
+// One left-to-right DP per starting index i yields the whole row, so the
+// total cost is O((m+n)² · m) — quadratic in the grid, cubic-ish in the
+// order, and entirely independent of the kernel algorithms.
+func HMatrix(a, b []byte) [][]int {
+	m, n := len(a), len(b)
+	size := m + n
+	h := make([][]int, size+1)
+	for i := range h {
+		h[i] = make([]int, size+1)
+	}
+	for i := 0; i <= size; i++ {
+		for j := 0; j <= size; j++ {
+			if j+m <= i {
+				h[i][j] = j + m - i
+			}
+		}
+		// dp[k] = LCS(a[:k], bPad[i:t)) for the current window end t.
+		dp := make([]int, m+1)
+		for t := i; t < 2*m+n; t++ {
+			wild := t < m || t >= m+n
+			var c byte
+			if !wild {
+				c = b[t-m]
+			}
+			diag := 0
+			for k := 1; k <= m; k++ {
+				old := dp[k]
+				if (wild || a[k-1] == c) && diag+1 > dp[k] {
+					dp[k] = diag + 1
+				}
+				if dp[k-1] > dp[k] {
+					dp[k] = dp[k-1]
+				}
+				diag = old
+			}
+			if j := t + 1 - m; j >= 0 && j <= size {
+				h[i][j] = dp[m]
+			}
+		}
+	}
+	return h
+}
+
+// The four semi-local query classes, each answered by direct DP on the
+// corresponding substrings — no kernels, no padding, no shared code with
+// the accessors of core.Kernel.
+
+// StringSubstring returns LCS(a, b[l:r)).
+func StringSubstring(a, b []byte, l, r int) int { return Score(a, b[l:r]) }
+
+// SubstringString returns LCS(a[u:v), b).
+func SubstringString(a, b []byte, u, v int) int { return Score(a[u:v], b) }
+
+// SuffixPrefix returns LCS(a[u:], b[:j]).
+func SuffixPrefix(a, b []byte, u, j int) int { return Score(a[u:], b[:j]) }
+
+// PrefixSuffix returns LCS(a[:v), b[j:]).
+func PrefixSuffix(a, b []byte, v, j int) int { return Score(a[:v], b[j:]) }
+
+// EditDistance returns the unit-cost Levenshtein distance of a and b by
+// the full-table dynamic program, again implemented locally.
+func EditDistance(a, b []byte) int {
+	m, n := len(a), len(b)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			best := prev[j-1]
+			if a[i-1] != b[j-1] {
+				best++
+			}
+			if prev[j]+1 < best {
+				best = prev[j] + 1
+			}
+			if cur[j-1]+1 < best {
+				best = cur[j-1] + 1
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// CheckMongeH verifies the structural properties Definition 3.3 forces on
+// a semi-local H matrix: supermodularity (the inverse-Monge condition,
+// equivalent to the nonnegativity of the kernel density), unit steps of 0
+// or 1 along rows, and unit steps of 0 or -1 along columns.
+func CheckMongeH(h [][]int) error {
+	size := len(h) - 1
+	for i := 0; i <= size; i++ {
+		if len(h[i]) != size+1 {
+			return fmt.Errorf("oracle: H row %d has %d entries, want %d", i, len(h[i]), size+1)
+		}
+	}
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			if d := h[i][j] + h[i+1][j+1] - h[i][j+1] - h[i+1][j]; d < 0 {
+				return fmt.Errorf("oracle: H not supermodular at (%d,%d): cross-difference %d", i, j, d)
+			}
+		}
+	}
+	for i := 0; i <= size; i++ {
+		for j := 1; j <= size; j++ {
+			if d := h[i][j] - h[i][j-1]; d < 0 || d > 1 {
+				return fmt.Errorf("oracle: H row %d steps by %d at column %d", i, d, j)
+			}
+		}
+	}
+	for j := 0; j <= size; j++ {
+		for i := 1; i <= size; i++ {
+			if d := h[i-1][j] - h[i][j]; d < 0 || d > 1 {
+				return fmt.Errorf("oracle: H column %d steps by %d at row %d", j, d, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"semilocal/internal/core"
+	"semilocal/internal/perm"
+	"semilocal/internal/steadyant"
+)
+
+func TestScoreKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"abcabba", "cbabac", 4},
+		{"same", "same", 4},
+		{"abc", "cba", 1},
+		{"aaaa", "aa", 2},
+	}
+	for _, c := range cases {
+		if got := Score([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("Score(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// wildLCS is a third, independent implementation (plain memoized
+// recursion over explicit padded strings) used to validate HMatrix
+// itself on tiny inputs.
+func wildLCS(a []byte, window []byte, wild []bool) int {
+	m, n := len(a), len(window)
+	memo := make([]int, (m+1)*(n+1))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var rec func(i, j int) int
+	rec = func(i, j int) int {
+		if i == m || j == n {
+			return 0
+		}
+		if v := memo[i*(n+1)+j]; v >= 0 {
+			return v
+		}
+		best := rec(i+1, j)
+		if r := rec(i, j+1); r > best {
+			best = r
+		}
+		if wild[j] || a[i] == window[j] {
+			if r := 1 + rec(i+1, j+1); r > best {
+				best = r
+			}
+		}
+		memo[i*(n+1)+j] = best
+		return best
+	}
+	return rec(0, 0)
+}
+
+func TestHMatrixMatchesPaddedDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		m, n := rng.Intn(7), rng.Intn(7)
+		a := randString(rng, m, 3)
+		b := randString(rng, n, 3)
+		h := HMatrix(a, b)
+		// Explicit bPad = ?^m b ?^m, wildcards marked out of band.
+		pad := make([]byte, 2*m+n)
+		wild := make([]bool, 2*m+n)
+		for t := range pad {
+			if t < m || t >= m+n {
+				wild[t] = true
+			} else {
+				pad[t] = b[t-m]
+			}
+		}
+		for i := 0; i <= m+n; i++ {
+			for j := 0; j <= m+n; j++ {
+				want := j + m - i
+				if j+m >= i {
+					want = wildLCS(a, pad[i:j+m], wild[i:j+m])
+				}
+				if h[i][j] != want {
+					t.Fatalf("H(%d,%d) = %d, want %d (a=%v b=%v)", i, j, h[i][j], want, a, b)
+				}
+			}
+		}
+		if err := CheckMongeH(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckMongeHRejectsCorruption(t *testing.T) {
+	h := HMatrix([]byte("abca"), []byte("bcab"))
+	h[3][4] += 2
+	if err := CheckMongeH(h); err == nil {
+		t.Fatal("corrupted H accepted")
+	}
+}
+
+func TestCheckPermutationRejectsBadInput(t *testing.T) {
+	if err := CheckPermutation(perm.Identity(4), 5); err == nil {
+		t.Fatal("order mismatch accepted")
+	}
+	bad := perm.FromRowToCol([]int32{0, 0, 2})
+	if err := CheckPermutation(bad, 3); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestCheckUnitMongeHoldsForRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 2, 5, 17, 60} {
+		if err := CheckUnitMonge(perm.Random(n, rng)); err != nil {
+			t.Fatalf("order %d: %v", n, err)
+		}
+	}
+}
+
+func TestCheckKernelDetectsTamperedKernel(t *testing.T) {
+	a, b := []byte("abcabba"), []byte("cbabac")
+	k, err := core.Solve(a, b, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckKernel(k, a, b); err != nil {
+		t.Fatalf("genuine kernel rejected: %v", err)
+	}
+	// Swap two kernel entries: still a permutation, no longer the kernel.
+	r2c := append([]int32(nil), k.Permutation().RowToCol()...)
+	r2c[0], r2c[1] = r2c[1], r2c[0]
+	tampered := core.NewKernel(perm.FromRowToCol(r2c), len(a), len(b))
+	if err := CheckKernel(tampered, a, b); err == nil {
+		t.Fatal("tampered kernel accepted")
+	}
+}
+
+func TestCheckAssociativityDetectsBrokenMult(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p, q, r := perm.Random(12, rng), perm.Random(12, rng), perm.Random(12, rng)
+	if err := CheckAssociativity(p, q, r, steadyant.Multiply); err != nil {
+		t.Fatalf("genuine multiplication rejected: %v", err)
+	}
+	// Functional composition is associative but is not sticky braid
+	// multiplication: the oracle comparison must catch it.
+	broken := func(x, y perm.Permutation) perm.Permutation { return x.ApplyAfter(y) }
+	if err := CheckAssociativity(p, q, r, broken); err == nil {
+		t.Fatal("functional composition accepted as braid multiplication")
+	}
+}
+
+func TestCheckNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 9, 40} {
+		if err := CheckNeutral(perm.Random(n, rng), steadyant.Multiply); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckAllSmoke(t *testing.T) {
+	if err := CheckAll([]byte("abcabba"), []byte("cbabac")); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAll(nil, []byte("zz")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialPairsAreWellFormed(t *testing.T) {
+	pairs := AdversarialPairs()
+	if len(pairs) < 10 {
+		t.Fatalf("only %d adversarial pairs", len(pairs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if p.Name == "" || seen[p.Name] {
+			t.Fatalf("bad or duplicate pair name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}

@@ -5,7 +5,10 @@
 // parallelism (the analog of OpenMP tasks).
 package parallel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // span is a half-open index range handed to one worker.
 type span struct {
@@ -19,10 +22,12 @@ type span struct {
 // algorithms (one loop per anti-diagonal).
 type Pool struct {
 	workers []chan span
+	closed  atomic.Bool
 }
 
-// NewPool starts n workers. n must be ≥ 1. Close must be called to stop
-// them.
+// NewPool starts n workers; values of n below 1 are clamped to a single
+// worker, so a worker count taken straight from a config is always safe.
+// Close must be called to stop the workers.
 func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
@@ -47,7 +52,12 @@ func (p *Pool) Size() int { return len(p.workers) }
 // For runs fn over [lo, hi) split into one contiguous span per worker and
 // returns when every span has completed (a barrier). fn must be safe to
 // run concurrently on disjoint spans. Empty ranges return immediately.
+// Calling For on a closed Pool panics with a diagnostic rather than
+// hanging or silently running inline.
 func (p *Pool) For(lo, hi int, fn func(lo, hi int)) {
+	if p.closed.Load() {
+		panic("parallel: Pool.For called after Close")
+	}
 	n := hi - lo
 	if n <= 0 {
 		return
@@ -76,8 +86,12 @@ func (p *Pool) For(lo, hi int, fn func(lo, hi int)) {
 	done.Wait()
 }
 
-// Close stops all workers. The Pool must not be used afterwards.
+// Close stops all workers. The Pool must not be used afterwards; a
+// second Close, like a For after Close, panics with a diagnostic.
 func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		panic("parallel: Pool closed twice")
+	}
 	for _, ch := range p.workers {
 		close(ch)
 	}

@@ -116,3 +116,50 @@ func TestLimiterRecursive(t *testing.T) {
 		t.Fatalf("total = %d, want 1024", total)
 	}
 }
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want %q", want)
+		}
+		if s, ok := r.(string); !ok || s != want {
+			t.Fatalf("panic %v, want %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestPoolForAfterClosePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	mustPanic(t, "parallel: Pool.For called after Close", func() {
+		p.For(0, 10, func(lo, hi int) {})
+	})
+	// The single-span fast path must fail just as loudly.
+	mustPanic(t, "parallel: Pool.For called after Close", func() {
+		p.For(0, 1, func(lo, hi int) {})
+	})
+}
+
+func TestPoolDoubleClosePanics(t *testing.T) {
+	p := NewPool(3)
+	p.Close()
+	mustPanic(t, "parallel: Pool closed twice", p.Close)
+}
+
+func TestNewPoolClampsNegativeWorkers(t *testing.T) {
+	for _, n := range []int{-100, -1, 0} {
+		p := NewPool(n)
+		if p.Size() != 1 {
+			t.Fatalf("NewPool(%d).Size() = %d, want 1", n, p.Size())
+		}
+		ran := false
+		p.For(0, 4, func(lo, hi int) { ran = ran || (lo == 0 && hi == 4) })
+		if !ran {
+			t.Fatalf("NewPool(%d) did not run the full range inline", n)
+		}
+		p.Close()
+	}
+}
