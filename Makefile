@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race test-race check bench figures figures-paper examples fuzz fuzz-smoke
+.PHONY: all build test race test-race check bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -31,6 +31,13 @@ check:
 bench:
 	go test -bench=. -benchmem ./...
 
+# Benchmark regression lane: run every benchmark exactly once. This
+# does not measure anything meaningful — it exists so CI catches
+# benchmarks that stop compiling, panic, or start allocating where a
+# hot path should not (inspect with -benchmem locally).
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
+
 # Regenerate every figure of the paper at moderate sizes.
 figures:
 	go run ./cmd/benchsuite -scale default all
@@ -53,6 +60,7 @@ fuzz:
 	go test -fuzz FuzzMultiply -fuzztime 30s ./internal/steadyant
 	go test -fuzz FuzzDifferential -fuzztime 30s ./internal/core
 	go test -fuzz FuzzEditWindows -fuzztime 30s ./internal/editdist
+	go test -fuzz FuzzSessionQueries -fuzztime 30s ./internal/query
 
 # Ten-second smoke pass per target — quick enough for CI, long enough to
 # mutate beyond the checked-in seed corpora under testdata/fuzz.
@@ -62,3 +70,4 @@ fuzz-smoke:
 	go test -fuzz FuzzMultiply -fuzztime 10s ./internal/steadyant
 	go test -fuzz FuzzDifferential -fuzztime 10s ./internal/core
 	go test -fuzz FuzzEditWindows -fuzztime 10s ./internal/editdist
+	go test -fuzz FuzzSessionQueries -fuzztime 10s ./internal/query

@@ -8,6 +8,7 @@
 //	semilocal -alg hybrid -workers 8 a.txt b.txt score
 //	semilocal -fasta a.fa b.fa windows -width 100 -top 5
 //	semilocal a.txt b.txt query -kind string-substring -from 10 -to 90
+//	semilocal -serve-batch queries.txt -workers 4
 //
 // Subcommands (their flags follow the subcommand name):
 //
@@ -17,13 +18,28 @@
 //	query     print one quadrant query; -kind selects
 //	          string-substring | substring-string | suffix-prefix |
 //	          prefix-suffix, with the range [-from, -to)
+//
+// The -serve-batch mode instead reads a whole batch of requests from a
+// file (one request per line: two whitespace-free strings, a query
+// kind, and its arguments), answers them through the concurrent batch
+// query engine — duplicate pairs are solved once and served from the
+// kernel cache — and prints one answer per line followed by the
+// engine's cache counters:
+//
+//	ABCABBA CBABAC score
+//	ABCABBA CBABAC string-substring 1 5
+//	ABCABBA CBABAC windows 3
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"semilocal"
@@ -50,13 +66,13 @@ func algorithmNames() string {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "semilocal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("semilocal", flag.ContinueOnError)
 	alg := fs.String("alg", "simd", "algorithm: "+algorithmNames())
 	workers := fs.Int("workers", 1, "worker goroutines")
@@ -64,8 +80,16 @@ func run(args []string) error {
 	bText := fs.String("b-text", "", "inline string b (instead of a file)")
 	fasta := fs.Bool("fasta", false, "treat input files as FASTA; the first record is used")
 	edit := fs.Bool("edit", false, "measure unit-cost edit distance instead of LCS score")
+	batch := fs.String("serve-batch", "", "answer a whole file of requests through the batch query engine")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	algorithm, okAlg := algorithms[*alg]
+	if !okAlg {
+		return fmt.Errorf("unknown algorithm %q (want one of %s)", *alg, algorithmNames())
+	}
+	if *batch != "" {
+		return runBatch(*batch, algorithm, *workers, out)
 	}
 
 	a, b, rest, err := loadInputs(fs.Args(), *aText, *bText, *fasta)
@@ -75,15 +99,11 @@ func run(args []string) error {
 	if len(rest) == 0 {
 		return fmt.Errorf("missing subcommand: score, windows or query")
 	}
-	algorithm, ok := algorithms[*alg]
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q (want one of %s)", *alg, algorithmNames())
-	}
 
 	cfg := semilocal.Config{Algorithm: algorithm, Workers: *workers}
 	sub, subArgs := rest[0], rest[1:]
 	if *edit {
-		return runEdit(a, b, cfg, sub, subArgs)
+		return runEdit(a, b, cfg, sub, subArgs, out)
 	}
 	k, err := semilocal.Solve(a, b, cfg)
 	if err != nil {
@@ -91,7 +111,7 @@ func run(args []string) error {
 	}
 	switch sub {
 	case "score":
-		fmt.Printf("LCS = %d  (m=%d, n=%d, algorithm=%v)\n", k.Score(), len(a), len(b), algorithm)
+		fmt.Fprintf(out, "LCS = %d  (m=%d, n=%d, algorithm=%v)\n", k.Score(), len(a), len(b), algorithm)
 		return nil
 	case "windows":
 		wfs := flag.NewFlagSet("windows", flag.ContinueOnError)
@@ -107,7 +127,7 @@ func run(args []string) error {
 		if w > len(b) {
 			return fmt.Errorf("window width %d exceeds len(b)=%d", w, len(b))
 		}
-		return printBestWindows(k, w, *top)
+		return printBestWindows(k, w, *top, out)
 	case "query":
 		qfs := flag.NewFlagSet("query", flag.ContinueOnError)
 		kind := qfs.String("kind", "string-substring", "quadrant kind")
@@ -116,7 +136,7 @@ func run(args []string) error {
 		if err := qfs.Parse(subArgs); err != nil {
 			return err
 		}
-		return printQuery(k, *kind, *from, *to, len(a), len(b))
+		return printQuery(k, *kind, *from, *to, len(a), len(b), out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", sub)
 	}
@@ -166,7 +186,7 @@ func loadInputs(args []string, aText, bText string, fasta bool) (a, b []byte, re
 	return a, b, rest, nil
 }
 
-func printBestWindows(k *semilocal.Kernel, width, top int) error {
+func printBestWindows(k *semilocal.Kernel, width, top int, out io.Writer) error {
 	scores := k.WindowScores(width)
 	type win struct{ l, score int }
 	wins := make([]win, len(scores))
@@ -177,15 +197,15 @@ func printBestWindows(k *semilocal.Kernel, width, top int) error {
 	if top > len(wins) {
 		top = len(wins)
 	}
-	fmt.Printf("best %d windows of width %d (of %d):\n", top, width, len(wins))
+	fmt.Fprintf(out, "best %d windows of width %d (of %d):\n", top, width, len(wins))
 	for _, w := range wins[:top] {
-		fmt.Printf("  b[%d:%d)  LCS=%d  (%.1f%% of window)\n",
+		fmt.Fprintf(out, "  b[%d:%d)  LCS=%d  (%.1f%% of window)\n",
 			w.l, w.l+width, w.score, 100*float64(w.score)/float64(width))
 	}
 	return nil
 }
 
-func printQuery(k *semilocal.Kernel, kind string, from, to, m, n int) error {
+func printQuery(k *semilocal.Kernel, kind string, from, to, m, n int, out io.Writer) error {
 	if to < 0 {
 		switch kind {
 		case "substring-string":
@@ -196,29 +216,128 @@ func printQuery(k *semilocal.Kernel, kind string, from, to, m, n int) error {
 	}
 	switch kind {
 	case "string-substring":
-		fmt.Printf("LCS(a, b[%d:%d)) = %d\n", from, to, k.StringSubstring(from, to))
+		fmt.Fprintf(out, "LCS(a, b[%d:%d)) = %d\n", from, to, k.StringSubstring(from, to))
 	case "substring-string":
-		fmt.Printf("LCS(a[%d:%d), b) = %d\n", from, to, k.SubstringString(from, to))
+		fmt.Fprintf(out, "LCS(a[%d:%d), b) = %d\n", from, to, k.SubstringString(from, to))
 	case "suffix-prefix":
-		fmt.Printf("LCS(a[%d:], b[:%d]) = %d\n", from, to, k.SuffixPrefix(from, to))
+		fmt.Fprintf(out, "LCS(a[%d:], b[:%d]) = %d\n", from, to, k.SuffixPrefix(from, to))
 	case "prefix-suffix":
-		fmt.Printf("LCS(a[:%d], b[%d:]) = %d\n", from, to, k.PrefixSuffix(from, to))
+		fmt.Fprintf(out, "LCS(a[:%d], b[%d:]) = %d\n", from, to, k.PrefixSuffix(from, to))
 	default:
 		return fmt.Errorf("unknown query kind %q", kind)
 	}
 	return nil
 }
 
+// parseBatchLine turns one request line of a -serve-batch file into an
+// engine request: `<a> <b> <kind> [args]`, kinds and arguments exactly
+// as in the query subcommand plus `score`, `windows <width>` and
+// `best-window <width>`.
+func parseBatchLine(line string) (semilocal.BatchRequest, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return semilocal.BatchRequest{}, fmt.Errorf("want `<a> <b> <kind> [args]`, got %q", line)
+	}
+	kind, err := semilocal.ParseQueryKind(fields[2])
+	if err != nil {
+		return semilocal.BatchRequest{}, err
+	}
+	req := semilocal.BatchRequest{A: []byte(fields[0]), B: []byte(fields[1]), Kind: kind}
+	argv := fields[3:]
+	wantArgs := 2
+	if kind == semilocal.QueryScore {
+		wantArgs = 0
+	} else if kind == semilocal.QueryWindows || kind == semilocal.QueryBestWindow {
+		wantArgs = 1
+	}
+	if len(argv) != wantArgs {
+		return semilocal.BatchRequest{}, fmt.Errorf("%s wants %d arguments, got %d", kind, wantArgs, len(argv))
+	}
+	nums := make([]int, len(argv))
+	for i, s := range argv {
+		if nums[i], err = strconv.Atoi(s); err != nil {
+			return semilocal.BatchRequest{}, err
+		}
+	}
+	switch wantArgs {
+	case 1:
+		req.Width = nums[0]
+	case 2:
+		req.From, req.To = nums[0], nums[1]
+	}
+	return req, nil
+}
+
+// runBatch answers every request in the file through one engine, then
+// prints the engine's cache counters. With -workers 1 the batch is
+// processed sequentially in file order, so the output (including the
+// hit/miss counters) is fully deterministic.
+func runBatch(path string, algorithm semilocal.Algorithm, workers int, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var reqs []semilocal.BatchRequest
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := parseBatchLine(line)
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", path, lineno, err)
+		}
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	engine := semilocal.NewEngine(semilocal.EngineOptions{
+		Config:  semilocal.Config{Algorithm: algorithm},
+		Workers: workers,
+	})
+	defer engine.Close()
+	results := engine.BatchSolve(context.Background(), reqs)
+	for i, res := range results {
+		switch {
+		case res.Err != nil:
+			fmt.Fprintf(out, "#%d %s: error: %v\n", i, reqs[i].Kind, res.Err)
+		case reqs[i].Kind == semilocal.QueryWindows:
+			fmt.Fprintf(out, "#%d %s(%d) =%s\n", i, reqs[i].Kind, reqs[i].Width, joinInts(res.Windows))
+		case reqs[i].Kind == semilocal.QueryBestWindow:
+			fmt.Fprintf(out, "#%d %s(%d) = b[%d:%d) score %d\n",
+				i, reqs[i].Kind, reqs[i].Width, res.From, res.From+reqs[i].Width, res.Score)
+		default:
+			fmt.Fprintf(out, "#%d %s = %d\n", i, reqs[i].Kind, res.Score)
+		}
+	}
+	fmt.Fprintf(out, "# engine: %s\n", engine.StatsLine())
+	return nil
+}
+
+func joinInts(xs []int) string {
+	var sb strings.Builder
+	for _, x := range xs {
+		fmt.Fprintf(&sb, " %d", x)
+	}
+	return sb.String()
+}
+
 // runEdit handles the -edit mode: the same subcommands, measured in
 // unit-cost edit distance through the blow-up kernel.
-func runEdit(a, b []byte, cfg semilocal.Config, sub string, subArgs []string) error {
+func runEdit(a, b []byte, cfg semilocal.Config, sub string, subArgs []string, out io.Writer) error {
 	k, err := semilocal.SolveEdit(a, b, cfg)
 	if err != nil {
 		return err
 	}
 	switch sub {
 	case "score":
-		fmt.Printf("edit distance = %d  (m=%d, n=%d)\n", k.Distance(), len(a), len(b))
+		fmt.Fprintf(out, "edit distance = %d  (m=%d, n=%d)\n", k.Distance(), len(a), len(b))
 		return nil
 	case "windows":
 		wfs := flag.NewFlagSet("windows", flag.ContinueOnError)
@@ -244,9 +363,9 @@ func runEdit(a, b []byte, cfg semilocal.Config, sub string, subArgs []string) er
 		if *top > len(wins) {
 			*top = len(wins)
 		}
-		fmt.Printf("best %d windows of width %d by edit distance:\n", *top, w)
+		fmt.Fprintf(out, "best %d windows of width %d by edit distance:\n", *top, w)
 		for _, x := range wins[:*top] {
-			fmt.Printf("  b[%d:%d)  distance %d\n", x.l, x.l+w, x.d)
+			fmt.Fprintf(out, "  b[%d:%d)  distance %d\n", x.l, x.l+w, x.d)
 		}
 		return nil
 	case "query":
@@ -266,13 +385,13 @@ func runEdit(a, b []byte, cfg semilocal.Config, sub string, subArgs []string) er
 		}
 		switch *kind {
 		case "string-substring":
-			fmt.Printf("ed(a, b[%d:%d)) = %d\n", *from, *to, k.SubstringDistance(*from, *to))
+			fmt.Fprintf(out, "ed(a, b[%d:%d)) = %d\n", *from, *to, k.SubstringDistance(*from, *to))
 		case "substring-string":
-			fmt.Printf("ed(a[%d:%d), b) = %d\n", *from, *to, k.SubstringStringDistance(*from, *to))
+			fmt.Fprintf(out, "ed(a[%d:%d), b) = %d\n", *from, *to, k.SubstringStringDistance(*from, *to))
 		case "suffix-prefix":
-			fmt.Printf("ed(a[%d:], b[:%d]) = %d\n", *from, *to, k.SuffixPrefixDistance(*from, *to))
+			fmt.Fprintf(out, "ed(a[%d:], b[:%d]) = %d\n", *from, *to, k.SuffixPrefixDistance(*from, *to))
 		case "prefix-suffix":
-			fmt.Printf("ed(a[:%d], b[%d:]) = %d\n", *from, *to, k.PrefixSuffixDistance(*from, *to))
+			fmt.Fprintf(out, "ed(a[:%d], b[%d:]) = %d\n", *from, *to, k.PrefixSuffixDistance(*from, *to))
 		default:
 			return fmt.Errorf("unknown query kind %q", *kind)
 		}

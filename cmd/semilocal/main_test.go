@@ -1,13 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunScoreInline(t *testing.T) {
-	if err := run([]string{"-a-text", "ABCABBA", "-b-text", "CBABAC", "score"}); err != nil {
+	if err := run([]string{"-a-text", "ABCABBA", "-b-text", "CBABAC", "score"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -29,7 +33,7 @@ func TestRunFiles(t *testing.T) {
 		{aPath, bPath, "query", "-kind", "substring-string", "-from", "1", "-to", "6"},
 		{aPath, bPath, "query", "-kind", "prefix-suffix", "-from", "3", "-to", "2"},
 	} {
-		if err := run(args); err != nil {
+		if err := run(args, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 	}
@@ -41,7 +45,7 @@ func TestRunFASTA(t *testing.T) {
 	if err := os.WriteFile(fa, []byte(">one\nACGTACGT\n>two\nGGGG\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fasta", fa, fa, "score"}); err != nil {
+	if err := run([]string{"-fasta", fa, fa, "score"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -58,7 +62,7 @@ func TestRunErrors(t *testing.T) {
 		{"/nonexistent/a", "/nonexistent/b", "score"},              // unreadable file
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -71,7 +75,7 @@ func TestRunEditMode(t *testing.T) {
 		{"-edit", "-a-text", "kitten", "-b-text", "sitting", "query", "-kind", "string-substring", "-from", "0", "-to", "6"},
 		{"-edit", "-a-text", "kitten", "-b-text", "sitting", "query", "-kind", "suffix-prefix", "-from", "1", "-to", "4"},
 	} {
-		if err := run(args); err != nil {
+		if err := run(args, io.Discard); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 	}
@@ -80,8 +84,127 @@ func TestRunEditMode(t *testing.T) {
 		{"-edit", "-a-text", "x", "-b-text", "y", "windows", "-width", "5"},
 		{"-edit", "-a-text", "x", "-b-text", "y", "query", "-kind", "nope"},
 	} {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Fatalf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// update regenerates the golden files under testdata instead of
+// comparing against them: go test ./cmd/semilocal -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCompare pins got against testdata/<name>.golden, rewriting the
+// file under -update.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output deviates from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGolden pins the exact CLI output of every subcommand and mode so
+// future refactors of the query or serving layers cannot silently
+// change user-visible behavior. Every invocation here is fully
+// deterministic: inline inputs, sequential workers.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"score", []string{"-a-text", "ABCABBA", "-b-text", "CBABAC", "score"}},
+		{"score-rowmajor", []string{"-alg", "rowmajor", "-a-text", "GATTACA", "-b-text", "TACGATTACA", "score"}},
+		{"windows", []string{"-a-text", "GATTACA", "-b-text", "TACGATTACA", "windows", "-width", "5", "-top", "3"}},
+		{"query-string-substring", []string{"-a-text", "GATTACA", "-b-text", "TACGATTACA", "query", "-kind", "string-substring", "-from", "2", "-to", "9"}},
+		{"query-substring-string", []string{"-a-text", "GATTACA", "-b-text", "TACGATTACA", "query", "-kind", "substring-string", "-from", "1", "-to", "6"}},
+		{"query-suffix-prefix", []string{"-a-text", "GATTACA", "-b-text", "TACGATTACA", "query", "-kind", "suffix-prefix", "-from", "2", "-to", "8"}},
+		{"query-prefix-suffix", []string{"-a-text", "GATTACA", "-b-text", "TACGATTACA", "query", "-kind", "prefix-suffix", "-from", "3", "-to", "2"}},
+		{"edit-score", []string{"-edit", "-a-text", "kitten", "-b-text", "sitting", "score"}},
+		{"edit-windows", []string{"-edit", "-a-text", "kitten", "-b-text", "the sitting cat", "windows", "-top", "2"}},
+		{"edit-query", []string{"-edit", "-a-text", "kitten", "-b-text", "sitting", "query", "-kind", "string-substring", "-from", "0", "-to", "6"}},
+		{"serve-batch", []string{"-serve-batch", filepath.Join("testdata", "batch.txt")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			goldenCompare(t, tc.name, buf.String())
+		})
+	}
+}
+
+// TestServeBatchParallelMatchesSequential re-runs the batch file with a
+// parallel engine and checks that every answer line matches the
+// sequential golden run (the trailing counter line is allowed to differ
+// in hit/dedup split, but the sum of solves must not change).
+func TestServeBatchParallelMatchesSequential(t *testing.T) {
+	batch := filepath.Join("testdata", "batch.txt")
+	var seq, par bytes.Buffer
+	if err := run([]string{"-serve-batch", batch}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve-batch", batch, "-workers", "4"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	seqLines := strings.Split(seq.String(), "\n")
+	parLines := strings.Split(par.String(), "\n")
+	if len(seqLines) != len(parLines) {
+		t.Fatalf("line count differs: %d vs %d", len(seqLines), len(parLines))
+	}
+	for i := range seqLines {
+		if strings.HasPrefix(seqLines[i], "# engine:") {
+			continue
+		}
+		if seqLines[i] != parLines[i] {
+			t.Errorf("line %d differs:\nseq: %s\npar: %s", i, seqLines[i], parLines[i])
+		}
+	}
+}
+
+// TestServeBatchErrors covers the batch-mode error paths: missing file,
+// malformed lines, and unknown kinds.
+func TestServeBatchErrors(t *testing.T) {
+	writeBatch := func(content string) string {
+		path := filepath.Join(t.TempDir(), "batch.txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := map[string]string{
+		"too few fields": "ABC\n",
+		"unknown kind":   "ABC CBA frobnicate\n",
+		"missing args":   "ABC CBA string-substring 1\n",
+		"non-numeric":    "ABC CBA string-substring one 5\n",
+		"extra args":     "ABC CBA score 3\n",
+	}
+	for name, content := range cases {
+		if err := run([]string{"-serve-batch", writeBatch(content)}, io.Discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := run([]string{"-serve-batch", "/nonexistent/batch.txt"}, io.Discard); err == nil {
+		t.Error("missing batch file accepted")
+	}
+	// Out-of-range query arguments are per-request errors, not run errors.
+	var buf bytes.Buffer
+	if err := run([]string{"-serve-batch", writeBatch("ABC CBA string-substring 0 99\n")}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "error:") {
+		t.Errorf("out-of-range request did not surface an error line:\n%s", buf.String())
 	}
 }

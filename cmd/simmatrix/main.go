@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -43,7 +44,7 @@ var algorithms = map[string]semilocal.Algorithm{
 	"grid":          semilocal.GridReduction,
 }
 
-func run(alg string, workers int, path string, out *os.File) error {
+func run(alg string, workers int, path string, out io.Writer) error {
 	algorithm, ok := algorithms[alg]
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q", alg)

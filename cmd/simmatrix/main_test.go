@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,5 +80,40 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run("simd", 1, single, os.Stdout); err == nil {
 		t.Fatal("single-record file accepted")
+	}
+}
+
+// update regenerates the golden file under testdata:
+// go test ./cmd/simmatrix -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden pins the exact CSV output on a fixed checked-in family so
+// refactors of the kernel or serving layers cannot silently change CLI
+// behavior. The input under testdata is handwritten (not simulated), so
+// the run is deterministic for any algorithm.
+func TestGolden(t *testing.T) {
+	for _, alg := range []string{"simd", "grid"} {
+		t.Run(alg, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(alg, 2, filepath.Join("testdata", "family.fa"), &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "family.golden")
+			if *update && alg == "simd" {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			// Every algorithm must produce the same matrix, so all of them
+			// compare against the one golden file.
+			if buf.String() != string(want) {
+				t.Errorf("output deviates from %s:\n--- got ---\n%s--- want ---\n%s", path, buf.String(), want)
+			}
+		})
 	}
 }

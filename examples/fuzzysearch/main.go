@@ -5,10 +5,16 @@
 // problem that the paper's related work identifies as "essentially a
 // form of semi-local string comparison".
 //
+// A second stage turns the one-shot search into a serving workload: a
+// batch of candidate patterns — with duplicates, as real query traffic
+// has — goes through the concurrent batch query engine, which caches
+// kernels per pattern and answers repeated patterns without re-solving.
+//
 //	go run ./examples/fuzzysearch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -77,5 +83,39 @@ func main() {
 	}
 	if len(hits) < 3 {
 		log.Fatalf("expected at least the three planted variants, found %d", len(hits))
+	}
+
+	// Serving mode: a stream of pattern lookups against the same corpus,
+	// answered through the batch query engine. The duplicate patterns in
+	// the batch are solved once each — the engine's singleflight + LRU
+	// cache turns repeats into sublinear cache hits.
+	patterns := []string{
+		"sticky braid", "combed", "dynamic programming",
+		"sticky braid", "partial kernels", "combed", "sticky braid",
+	}
+	engine := semilocal.NewEngine(semilocal.EngineOptions{
+		Config:  semilocal.Config{Algorithm: semilocal.AntidiagBranchless},
+		Workers: 4,
+	})
+	defer engine.Close()
+	reqs := make([]semilocal.BatchRequest, len(patterns))
+	for i, p := range patterns {
+		reqs[i] = semilocal.BatchRequest{
+			A: []byte(p), B: noisy,
+			Kind: semilocal.QueryBestWindow, Width: len(p),
+		}
+	}
+	results := engine.BatchSolve(context.Background(), reqs)
+	fmt.Printf("\nbatch of %d pattern lookups through the query engine:\n", len(reqs))
+	for i, res := range results {
+		if res.Err != nil {
+			log.Fatalf("pattern %q: %v", patterns[i], res.Err)
+		}
+		fmt.Printf("  %-20q best window b[%d:%d)  LCS %d/%d\n",
+			patterns[i], res.From, res.From+len(patterns[i]), res.Score, len(patterns[i]))
+	}
+	fmt.Printf("engine counters: %s\n", engine.StatsLine())
+	if misses := engine.Stats()["cache_misses"]; misses != 4 {
+		log.Fatalf("expected 4 kernel solves for 4 distinct patterns, got %d", misses)
 	}
 }

@@ -91,9 +91,16 @@ type Config struct {
 	Use16 bool
 }
 
+// MaxOrder is the largest kernel order m+n Solve accepts: permutation
+// indices are int32, so larger inputs would silently corrupt the kernel.
+const MaxOrder = 1<<31 - 1
+
 // Solve computes the semi-local LCS kernel of a and b with the
 // configured algorithm.
 func Solve(a, b []byte, cfg Config) (*Kernel, error) {
+	if len(a)+len(b) > MaxOrder {
+		return nil, fmt.Errorf("core: input order %d exceeds the int32 kernel limit %d", len(a)+len(b), MaxOrder)
+	}
 	var p perm.Permutation
 	switch cfg.Algorithm {
 	case RowMajor:
@@ -174,6 +181,24 @@ func (k *Kernel) N() int { return k.n }
 func (k *Kernel) tree() *dominance.Tree {
 	k.domOnce.Do(func() { k.dom = dominance.New(k.p.RowToCol()) })
 	return k.dom
+}
+
+// Prepare forces construction of the dominance-counting structure that
+// arbitrary H queries use, so that the O((m+n) log(m+n)) build cost is
+// paid once up front rather than on the first query. It returns k for
+// chaining and is safe to call concurrently with queries.
+func (k *Kernel) Prepare() *Kernel {
+	k.tree()
+	return k
+}
+
+// MemoryBytes estimates the resident size of the kernel in bytes: the
+// permutation array plus the dominance structure, which is built if it
+// does not exist yet (going through the sync.Once keeps this safe to
+// call concurrently with queries). Serving caches use it to account for
+// resident kernels.
+func (k *Kernel) MemoryBytes() int {
+	return 4*k.p.Size() + k.tree().Bytes()
 }
 
 // H returns the LCS matrix entry H(i,j) of Definition 3.3 for

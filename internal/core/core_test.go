@@ -178,3 +178,31 @@ func TestDefaultHybridDepth(t *testing.T) {
 		t.Fatalf("8 workers depth = %d, want ≥ 3", d)
 	}
 }
+
+// TestPrepareAndMemoryBytes pins the serving-layer hooks: Prepare
+// builds the same dominance structure queries build lazily (answers
+// must not change), and MemoryBytes reports a plausible resident size
+// that grows with the kernel order.
+func TestPrepareAndMemoryBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	a := randString(rng, 90, 3)
+	b := randString(rng, 70, 3)
+	lazy := mustSolve(t, a, b, Config{})
+	eager := mustSolve(t, a, b, Config{})
+	if eager.Prepare() != eager {
+		t.Fatal("Prepare does not return its receiver")
+	}
+	eager.Prepare() // idempotent
+	for i := 0; i <= len(b); i++ {
+		if lazy.StringSubstring(0, i) != eager.StringSubstring(0, i) {
+			t.Fatalf("prepared kernel deviates at window [0,%d)", i)
+		}
+	}
+	small := mustSolve(t, a[:10], b[:10], Config{})
+	if small.MemoryBytes() <= 0 || eager.MemoryBytes() <= small.MemoryBytes() {
+		t.Fatalf("MemoryBytes not monotone: small=%d large=%d", small.MemoryBytes(), eager.MemoryBytes())
+	}
+	if min := 4 * (len(a) + len(b)); eager.MemoryBytes() < min {
+		t.Fatalf("MemoryBytes %d below the bare permutation size %d", eager.MemoryBytes(), min)
+	}
+}

@@ -54,7 +54,17 @@ func UnmarshalKernel(data []byte) (*Kernel, error) {
 	if m64 > maxLen || n64 > maxLen {
 		return nil, fmt.Errorf("core: unreasonable kernel dimensions %d×%d", m64, n64)
 	}
+	// Each kernel index costs at least one varint byte, so a payload
+	// shorter than m+n cannot possibly be complete. Checking before the
+	// allocation keeps a hostile header (huge claimed dimensions, tiny
+	// body) from forcing a multi-gigabyte make.
+	if uint64(len(data)) < m64+n64 {
+		return nil, fmt.Errorf("core: kernel encoding holds %d bytes, shorter than the %d declared indices", len(data), m64+n64)
+	}
 	m, n := int(m64), int(n64)
+	if m+n > MaxOrder {
+		return nil, fmt.Errorf("core: kernel order %d exceeds the int32 limit %d", m64+n64, MaxOrder)
+	}
 	rowToCol := make([]int32, m+n)
 	for i := range rowToCol {
 		v, err := next()

@@ -99,3 +99,24 @@ func TestEmptyTree(t *testing.T) {
 		t.Fatal("empty tree misbehaves")
 	}
 }
+
+func TestBytesTracksStructureSize(t *testing.T) {
+	if got := New(nil).Bytes(); got != 0 {
+		t.Fatalf("empty tree Bytes = %d, want 0", got)
+	}
+	small := New([]int32{1, 0})
+	big := New(func() []int32 {
+		v := make([]int32, 1024)
+		for i := range v {
+			v[i] = int32(1023 - i)
+		}
+		return v
+	}())
+	if small.Bytes() <= 0 || big.Bytes() <= small.Bytes() {
+		t.Fatalf("Bytes not monotone in size: small=%d big=%d", small.Bytes(), big.Bytes())
+	}
+	// levels × rank array is the dominant term: ~4·n·log2(n) bytes.
+	if lo, hi, got := 4*1024*10, 8*1024*11, big.Bytes(); got < lo || got > hi {
+		t.Fatalf("Bytes = %d, expected within [%d, %d]", got, lo, hi)
+	}
+}

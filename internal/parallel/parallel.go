@@ -86,6 +86,18 @@ func (p *Pool) For(lo, hi int, fn func(lo, hi int)) {
 	done.Wait()
 }
 
+// Each runs fn(i) for every i in [0, n), split across the workers like
+// For, and returns when all calls have completed. It is the per-item
+// convenience form used by batch layers that process one independent
+// request per index.
+func (p *Pool) Each(n int, fn func(i int)) {
+	p.For(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
 // Close stops all workers. The Pool must not be used afterwards; a
 // second Close, like a For after Close, panics with a diagnostic.
 func (p *Pool) Close() {

@@ -163,3 +163,19 @@ func TestNewPoolClampsNegativeWorkers(t *testing.T) {
 		p.Close()
 	}
 }
+
+func TestPoolEach(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		p := NewPool(workers)
+		const n = 100
+		seen := make([]int32, n)
+		p.Each(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+		p.Each(0, func(i int) { t.Error("Each(0) invoked fn") })
+		p.Close()
+	}
+}

@@ -1,0 +1,175 @@
+package query
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+
+	"semilocal/internal/core"
+	"semilocal/internal/stats"
+	"sync"
+)
+
+// cacheKey identifies one cached session. The full input strings are
+// kept (not just their hashes) so a hash collision can never serve the
+// wrong kernel; the hash is only used to pick a shard. core.Config is a
+// comparable struct, so the whole key is comparable.
+type cacheKey struct {
+	a, b string
+	cfg  core.Config
+}
+
+func (k cacheKey) shardOf(n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(k.a))
+	h.Write([]byte{0xff})
+	h.Write([]byte(k.b))
+	return int(h.Sum32()) % n
+}
+
+// flight is one in-progress solve that concurrent requests for the same
+// key attach to instead of solving again (singleflight).
+type flight struct {
+	done chan struct{} // closed when sess/err are set
+	sess *Session
+	err  error
+}
+
+// entry is one resident cached session.
+type entry struct {
+	key  cacheKey
+	sess *Session
+}
+
+// shard is an independently locked slice of the cache: an LRU of
+// resident sessions plus the in-flight solve table.
+type shard struct {
+	mu       sync.Mutex
+	resident map[cacheKey]*list.Element // values are *entry
+	lru      *list.List                 // front = most recently used
+	inflight map[cacheKey]*flight
+	capacity int
+}
+
+// cache is the sharded LRU session cache with singleflight dedup.
+type cache struct {
+	shards []*shard
+	solve  func(a, b []byte, cfg core.Config) (*core.Kernel, error)
+
+	hits      *stats.Counter // request served by a resident session
+	misses    *stats.Counter // request started a solve
+	deduped   *stats.Counter // request joined another request's solve
+	evictions *stats.Counter // resident session dropped by LRU pressure
+	bytes     *stats.Counter // resident session bytes (gauge)
+}
+
+func newCache(shards, capacity int, reg *stats.Registry) *cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < shards {
+		// Every shard owns at least one slot so a live working set of one
+		// key per shard can never thrash.
+		capacity = shards
+	}
+	c := &cache{
+		shards:    make([]*shard, shards),
+		solve:     core.Solve,
+		hits:      reg.Counter("cache_hits"),
+		misses:    reg.Counter("cache_misses"),
+		deduped:   reg.Counter("cache_deduped"),
+		evictions: reg.Counter("cache_evictions"),
+		bytes:     reg.Counter("cache_bytes"),
+	}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			resident: make(map[cacheKey]*list.Element),
+			lru:      list.New(),
+			inflight: make(map[cacheKey]*flight),
+			capacity: per,
+		}
+	}
+	return c
+}
+
+// acquire returns the session for key, solving at most once per key no
+// matter how many goroutines ask concurrently. ctx bounds only this
+// caller's wait: the solve itself runs on its own goroutine and always
+// completes and caches its result, even if every waiter gives up
+// (kernel algorithms are not interruptible mid-DP, and finishing the
+// work keeps it amortizable). Detaching the solve from the caller is
+// also what makes acquire deadlock-free when callers are pool workers:
+// a worker blocked on a flight never holds up the solver it is waiting
+// for, because solvers do not need a worker slot.
+func (c *cache) acquire(ctx context.Context, key cacheKey) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sh := c.shards[key.shardOf(len(c.shards))]
+
+	sh.mu.Lock()
+	if el, ok := sh.resident[key]; ok {
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		c.hits.Inc()
+		return el.Value.(*entry).sess, nil
+	}
+	fl, joined := sh.inflight[key]
+	if !joined {
+		fl = &flight{done: make(chan struct{})}
+		sh.inflight[key] = fl
+	}
+	sh.mu.Unlock()
+	if joined {
+		c.deduped.Inc()
+	} else {
+		c.misses.Inc()
+		go c.runFlight(sh, key, fl)
+	}
+	select {
+	case <-fl.done:
+		return fl.sess, fl.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runFlight performs one solve, publishes the session into the shard's
+// LRU (evicting past capacity), and releases every waiter.
+func (c *cache) runFlight(sh *shard, key cacheKey, fl *flight) {
+	k, err := c.solve([]byte(key.a), []byte(key.b), key.cfg)
+	if err == nil {
+		fl.sess = NewSession(k)
+	} else {
+		fl.err = err
+	}
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if fl.sess != nil {
+		sh.resident[key] = sh.lru.PushFront(&entry{key: key, sess: fl.sess})
+		c.bytes.Add(int64(fl.sess.MemoryBytes()))
+		for sh.lru.Len() > sh.capacity {
+			oldest := sh.lru.Back()
+			e := oldest.Value.(*entry)
+			sh.lru.Remove(oldest)
+			delete(sh.resident, e.key)
+			c.bytes.Add(-int64(e.sess.MemoryBytes()))
+			c.evictions.Inc()
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+}
+
+// len reports the number of resident sessions across all shards.
+func (c *cache) len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}

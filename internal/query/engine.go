@@ -1,0 +1,212 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"semilocal/internal/core"
+	"semilocal/internal/parallel"
+	"semilocal/internal/stats"
+)
+
+// Options configures an Engine. The zero value is usable: sequential
+// batches, the default solve configuration, and a small cache.
+type Options struct {
+	// Config is the kernel algorithm used when a request does not carry
+	// its own; the zero value is sequential row-major combing.
+	Config core.Config
+	// Workers is the fan-out width of BatchSolve (values ≤ 1 process
+	// batches sequentially). This is independent of Config.Workers,
+	// which parallelizes the inside of a single solve.
+	Workers int
+	// MaxKernels caps the number of resident cached sessions; 0 means
+	// DefaultMaxKernels. Capacity is split evenly across shards, each
+	// shard keeping at least one slot.
+	MaxKernels int
+	// Shards is the lock-sharding factor of the cache; 0 means
+	// DefaultShards.
+	Shards int
+	// Stats receives the engine's counters; nil allocates a private
+	// registry, exposed by Engine.Stats.
+	Stats *stats.Registry
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxKernels = 128
+	DefaultShards     = 8
+)
+
+// Engine amortizes kernel solves across queries: a sharded LRU cache of
+// prepared sessions with singleflight deduplication, and a batch front
+// end that fans independent requests across a worker pool. All methods
+// are safe for concurrent use; Close releases the pool.
+type Engine struct {
+	cache  *cache
+	pool   *parallel.Pool
+	cfg    core.Config
+	reg    *stats.Registry
+	closed atomic.Bool
+
+	requests *stats.Counter // BatchSolve requests accepted
+	inflight *stats.Counter // requests currently being processed (gauge)
+}
+
+// NewEngine builds an engine; the caller owns it and must Close it.
+func NewEngine(opts Options) *Engine {
+	reg := opts.Stats
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	shards := opts.Shards
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	maxKernels := opts.MaxKernels
+	if maxKernels == 0 {
+		maxKernels = DefaultMaxKernels
+	}
+	return &Engine{
+		cache:    newCache(shards, maxKernels, reg),
+		pool:     parallel.NewPool(opts.Workers),
+		cfg:      opts.Config,
+		reg:      reg,
+		requests: reg.Counter("requests"),
+		inflight: reg.Counter("requests_inflight"),
+	}
+}
+
+// Close stops the engine's workers. The engine must not be used
+// afterwards; BatchSolve and Acquire on a closed engine return an error.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.pool.Close()
+}
+
+// Stats returns a snapshot of the engine's counters: cache_hits,
+// cache_misses, cache_deduped, cache_evictions, cache_bytes, requests,
+// requests_inflight.
+func (e *Engine) Stats() map[string]int64 { return e.reg.Snapshot() }
+
+// StatsLine renders the counters as a stable one-line summary.
+func (e *Engine) StatsLine() string { return e.reg.String() }
+
+// CachedKernels reports the number of resident cached sessions.
+func (e *Engine) CachedKernels() int { return e.cache.len() }
+
+// Acquire returns the prepared session for (a, b) under the engine's
+// default configuration, solving the kernel only if no resident or
+// in-flight session exists. The session stays valid after eviction (it
+// is immutable); eviction only stops future Acquires from reusing it.
+func (e *Engine) Acquire(ctx context.Context, a, b []byte) (*Session, error) {
+	return e.AcquireConfig(ctx, a, b, e.cfg)
+}
+
+// AcquireConfig is Acquire with an explicit solve configuration, which
+// participates in the cache key.
+func (e *Engine) AcquireConfig(ctx context.Context, a, b []byte, cfg core.Config) (*Session, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("query: engine is closed")
+	}
+	return e.cache.acquire(ctx, cacheKey{a: string(a), b: string(b), cfg: cfg})
+}
+
+// Request is one unit of work for BatchSolve: an input pair, the query
+// to answer on its kernel, and an optional per-request deadline.
+type Request struct {
+	A, B []byte
+	// Kind selects the query family; see the Kind constants.
+	Kind Kind
+	// From and To are the range or index arguments of the four quadrant
+	// queries (unused by Score, Windows and BestWindow).
+	From, To int
+	// Width is the window width of Windows and BestWindow.
+	Width int
+	// Config overrides the engine's default solve configuration when
+	// non-nil.
+	Config *core.Config
+	// Timeout bounds this request alone (0 = no extra bound); it is
+	// applied on top of the batch context.
+	Timeout time.Duration
+}
+
+// Result is the answer to one Request.
+type Result struct {
+	// Score is the scalar answer of every kind except Windows; for
+	// BestWindow it is the best window's score.
+	Score int
+	// From is the best window's left edge (BestWindow only).
+	From int
+	// Windows is the full sweep (Windows only).
+	Windows []int
+	// Err reports validation failures, solve errors, or the context /
+	// timeout error that cancelled the request.
+	Err error
+}
+
+// BatchSolve answers every request, fanning the batch across the
+// engine's workers. Duplicate pairs inside one batch (and across
+// concurrent batches) are solved once via the cache's singleflight;
+// results come back in request order. ctx cancellation or a request
+// Timeout abandons waiting requests with their context error — an
+// already-running solve still completes and is cached.
+func (e *Engine) BatchSolve(ctx context.Context, reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	if e.closed.Load() {
+		err := fmt.Errorf("query: engine is closed")
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	e.requests.Add(int64(len(reqs)))
+	e.pool.Each(len(reqs), func(i int) {
+		e.inflight.Inc()
+		out[i] = e.one(ctx, reqs[i])
+		e.inflight.Add(-1)
+	})
+	return out
+}
+
+// one answers a single request.
+func (e *Engine) one(ctx context.Context, req Request) Result {
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	cfg := e.cfg
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	if err := req.Kind.validate(req.From, req.To, req.Width, len(req.A), len(req.B)); err != nil {
+		return Result{Err: err}
+	}
+	sess, err := e.AcquireConfig(ctx, req.A, req.B, cfg)
+	if err != nil {
+		return Result{Err: err}
+	}
+	switch req.Kind {
+	case Score:
+		return Result{Score: sess.Score()}
+	case StringSubstring:
+		return Result{Score: sess.StringSubstring(req.From, req.To)}
+	case SubstringString:
+		return Result{Score: sess.SubstringString(req.From, req.To)}
+	case SuffixPrefix:
+		return Result{Score: sess.SuffixPrefix(req.From, req.To)}
+	case PrefixSuffix:
+		return Result{Score: sess.PrefixSuffix(req.From, req.To)}
+	case Windows:
+		return Result{Windows: sess.WindowScores(req.Width)}
+	case BestWindow:
+		l, score := sess.BestWindow(req.Width)
+		return Result{From: l, Score: score}
+	default:
+		return Result{Err: fmt.Errorf("query: unknown kind %d", int(req.Kind))}
+	}
+}

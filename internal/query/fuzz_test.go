@@ -1,0 +1,64 @@
+package query_test
+
+import (
+	"testing"
+
+	"semilocal/internal/core"
+	"semilocal/internal/oracle"
+	"semilocal/internal/query"
+)
+
+// FuzzSessionQueries drives arbitrary input pairs and query indices
+// through every Session query family and one window sweep, comparing
+// each answer to direct substring DP. The raw fuzz bytes x, y, w are
+// folded into valid ranges, so every generated input exercises real
+// queries; lengths are capped to keep the quadratic oracle fast. The
+// seed corpus under testdata/fuzz covers the adversarial families and
+// is replayed by every plain `go test` run.
+func FuzzSessionQueries(f *testing.F) {
+	f.Add([]byte("abcabba"), []byte("cbabac"), byte(1), byte(5), byte(3))
+	f.Add([]byte{}, []byte{}, byte(0), byte(0), byte(0))
+	f.Fuzz(func(t *testing.T, a, b []byte, x, y, w byte) {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		m, n := len(a), len(b)
+		k, err := core.Solve(a, b, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := query.NewSession(k)
+
+		// Fold the fuzzed bytes into valid ranges.
+		l := int(x) % (n + 1)
+		r := l + int(y)%(n-l+1)
+		u := int(x) % (m + 1)
+		v := u + int(y)%(m-u+1)
+		j := int(w) % (n + 1)
+		width := int(w) % (n + 1)
+
+		if got, want := s.Score(), oracle.Score(a, b); got != want {
+			t.Fatalf("Score = %d, oracle %d", got, want)
+		}
+		if got, want := s.StringSubstring(l, r), oracle.StringSubstring(a, b, l, r); got != want {
+			t.Fatalf("StringSubstring(%d,%d) = %d, oracle %d", l, r, got, want)
+		}
+		if got, want := s.SubstringString(u, v), oracle.SubstringString(a, b, u, v); got != want {
+			t.Fatalf("SubstringString(%d,%d) = %d, oracle %d", u, v, got, want)
+		}
+		if got, want := s.SuffixPrefix(u, j), oracle.SuffixPrefix(a, b, u, j); got != want {
+			t.Fatalf("SuffixPrefix(%d,%d) = %d, oracle %d", u, j, got, want)
+		}
+		if got, want := s.PrefixSuffix(u, j), oracle.PrefixSuffix(a, b, u, j); got != want {
+			t.Fatalf("PrefixSuffix(%d,%d) = %d, oracle %d", u, j, got, want)
+		}
+		for pos, sc := range s.WindowScores(width) {
+			if want := oracle.StringSubstring(a, b, pos, pos+width); sc != want {
+				t.Fatalf("WindowScores(%d)[%d] = %d, oracle %d", width, pos, sc, want)
+			}
+		}
+	})
+}

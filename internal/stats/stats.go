@@ -1,0 +1,89 @@
+// Package stats provides a minimal registry of named atomic counters —
+// the observability hook the serving layers of this repository (the
+// batch query engine, later transport layers) report through. It is
+// deliberately tiny: counters are monotonic int64s, a registry is a
+// string-keyed set of them, and a snapshot is a plain map copy that a
+// caller can log, diff, or export however it likes.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically adjustable atomic int64. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (negative deltas are allowed for gauges such as in-flight
+// request counts or resident cache bytes).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Registry is a concurrency-safe set of named counters. The zero value
+// is not usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. The returned pointer is stable: hot paths should call this
+// once and keep the pointer rather than re-resolving the name.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns a point-in-time copy of every counter value.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// String renders a snapshot as "name=value" pairs in sorted-name order,
+// for logs and CLI summaries.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, snap[name])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-2)
+	if got := c.Load(); got != 40 {
+		t.Fatalf("Load = %d, want 40", got)
+	}
+}
+
+func TestRegistryStablePointersAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits")
+	if r.Counter("hits") != a {
+		t.Fatal("re-resolving a name returned a different counter")
+	}
+	a.Add(3)
+	r.Counter("misses").Inc()
+	snap := r.Snapshot()
+	if snap["hits"] != 3 || snap["misses"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy: mutating it must not touch the registry.
+	snap["hits"] = 999
+	if r.Counter("hits").Load() != 3 {
+		t.Fatal("snapshot aliases the registry")
+	}
+	if got, want := r.String(), "hits=3 misses=1"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// TestRegistryConcurrent hammers Counter resolution and increments from
+// many goroutines; run under -race via make test-race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared").Inc()
+				r.Counter(fmt.Sprintf("own_%d", g%4)).Inc()
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != goroutines*perG {
+		t.Fatalf("shared = %d, want %d", got, goroutines*perG)
+	}
+	total := int64(0)
+	for name, v := range r.Snapshot() {
+		if name != "shared" {
+			total += v
+		}
+	}
+	if total != goroutines*perG {
+		t.Fatalf("per-goroutine counters sum to %d, want %d", total, goroutines*perG)
+	}
+}

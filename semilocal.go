@@ -27,6 +27,7 @@ import (
 	"semilocal/internal/core"
 	"semilocal/internal/editdist"
 	"semilocal/internal/lcs"
+	"semilocal/internal/query"
 )
 
 // Kernel is the implicit semi-local LCS solution; see the methods of
@@ -83,6 +84,58 @@ func BinaryLCS(a, b []byte, workers int) int {
 // logic and shifts only — O(mn·log(sigma)/64) word operations.
 func GeneralBitLCS(a, b []byte, workers int) int {
 	return bitlcs.ScoreAlphabet(a, b, bitlcs.Options{Workers: workers})
+}
+
+// Serving layer: one kernel solve pays for unlimited sublinear queries,
+// and the Engine amortizes solves across requests — a sharded LRU cache
+// of prepared Sessions with singleflight deduplication and a batch
+// front end over a worker pool. See internal/query for details and
+// cmd/semilocal's -serve-batch mode for a file-driven harness.
+
+// Engine is a concurrent batch query engine over cached kernels.
+type Engine = query.Engine
+
+// EngineOptions configures NewEngine; the zero value is usable.
+type EngineOptions = query.Options
+
+// Session is a fully preprocessed query handle over one solved kernel:
+// the four semi-local query families in O(log(m+n)) each plus
+// sliding-window sweeps at O(1) amortized per window.
+type Session = query.Session
+
+// BatchRequest and BatchResult are the units of Engine.BatchSolve.
+type BatchRequest = query.Request
+type BatchResult = query.Result
+
+// QueryKind selects a BatchRequest's query family.
+type QueryKind = query.Kind
+
+// The query families a BatchRequest can ask for.
+const (
+	QueryScore           = query.Score
+	QueryStringSubstring = query.StringSubstring
+	QuerySubstringString = query.SubstringString
+	QuerySuffixPrefix    = query.SuffixPrefix
+	QueryPrefixSuffix    = query.PrefixSuffix
+	QueryWindows         = query.Windows
+	QueryBestWindow      = query.BestWindow
+)
+
+// ParseQueryKind resolves the CLI/wire name of a query kind
+// ("score", "string-substring", "windows", ...).
+func ParseQueryKind(s string) (QueryKind, error) {
+	return query.ParseKind(s)
+}
+
+// NewEngine builds a batch query engine; the caller must Close it.
+func NewEngine(opts EngineOptions) *Engine {
+	return query.NewEngine(opts)
+}
+
+// NewSession preprocesses a solved kernel for serving-style queries
+// without going through an Engine cache.
+func NewSession(k *Kernel) *Session {
+	return query.NewSession(k)
 }
 
 // UnmarshalKernel decodes a kernel previously encoded with
