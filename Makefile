@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race test-race check bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
+.PHONY: all build test race test-race check check-obs bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -27,6 +27,16 @@ check:
 	go build ./...
 	go test ./...
 	$(MAKE) test-race
+
+# Observability lane, focused: metrics/trace goldens, histogram and
+# counter property tests, and the zero-alloc guards for disabled
+# instrumentation (the alloc guards only compile without -race, so
+# they run in `go test ./...` above but not in test-race). A strict
+# subset of `check` — use for a fast loop while touching internal/obs.
+check-obs:
+	go test ./internal/obs ./internal/query ./internal/stats ./cmd/semilocal
+	go test -race ./internal/obs ./internal/query ./internal/stats
+	go test -run 'TestStageCoverage4096|TestSolveObservedMatchesSolve' ./internal/core
 
 bench:
 	go test -bench=. -benchmem ./...

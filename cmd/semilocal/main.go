@@ -29,6 +29,14 @@
 //	ABCABBA CBABAC score
 //	ABCABBA CBABAC string-substring 1 5
 //	ABCABBA CBABAC windows 3
+//
+// Observability: -trace-stages appends a per-solve stage breakdown
+// table (where the wall time went: combing passes, braid composition,
+// query-structure preparation, cache waits) to the output of any LCS
+// subcommand or batch run. With -serve-batch, -metrics ADDR serves
+// Prometheus text on http://ADDR/metrics plus expvar (/debug/vars) and
+// pprof (/debug/pprof/) for the duration of the batch; -metrics -
+// prints one final exposition to standard output instead.
 package main
 
 import (
@@ -81,6 +89,8 @@ func run(args []string, out io.Writer) error {
 	fasta := fs.Bool("fasta", false, "treat input files as FASTA; the first record is used")
 	edit := fs.Bool("edit", false, "measure unit-cost edit distance instead of LCS score")
 	batch := fs.String("serve-batch", "", "answer a whole file of requests through the batch query engine")
+	traceStages := fs.Bool("trace-stages", false, "append a per-solve stage breakdown table")
+	metricsAddr := fs.String("metrics", "", "with -serve-batch: serve /metrics, /debug/vars and /debug/pprof on this address ('-' prints one exposition to stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,7 +99,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown algorithm %q (want one of %s)", *alg, algorithmNames())
 	}
 	if *batch != "" {
-		return runBatch(*batch, algorithm, *workers, out)
+		return runBatch(*batch, algorithm, *workers, *traceStages, *metricsAddr, out)
+	}
+	if *metricsAddr != "" {
+		return fmt.Errorf("-metrics requires -serve-batch")
 	}
 
 	a, b, rest, err := loadInputs(fs.Args(), *aText, *bText, *fasta)
@@ -103,12 +116,31 @@ func run(args []string, out io.Writer) error {
 	cfg := semilocal.Config{Algorithm: algorithm, Workers: *workers}
 	sub, subArgs := rest[0], rest[1:]
 	if *edit {
+		if *traceStages {
+			return fmt.Errorf("-trace-stages is not supported with -edit")
+		}
 		return runEdit(a, b, cfg, sub, subArgs, out)
 	}
-	k, err := semilocal.Solve(a, b, cfg)
+	var rec *semilocal.StageRecorder
+	if *traceStages {
+		rec = semilocal.NewStageRecorder()
+	}
+	k, err := semilocal.SolveObserved(a, b, cfg, rec)
 	if err != nil {
 		return err
 	}
+	if err := runKernelSub(k, a, b, algorithm, sub, subArgs, out); err != nil {
+		return err
+	}
+	if rec != nil {
+		fmt.Fprintln(out)
+		rec.Snapshot().WriteBreakdown(out)
+	}
+	return nil
+}
+
+// runKernelSub answers one LCS-mode subcommand on a solved kernel.
+func runKernelSub(k *semilocal.Kernel, a, b []byte, algorithm semilocal.Algorithm, sub string, subArgs []string, out io.Writer) error {
 	switch sub {
 	case "score":
 		fmt.Fprintf(out, "LCS = %d  (m=%d, n=%d, algorithm=%v)\n", k.Score(), len(a), len(b), algorithm)
@@ -271,8 +303,10 @@ func parseBatchLine(line string) (semilocal.BatchRequest, error) {
 // runBatch answers every request in the file through one engine, then
 // prints the engine's cache counters. With -workers 1 the batch is
 // processed sequentially in file order, so the output (including the
-// hit/miss counters) is fully deterministic.
-func runBatch(path string, algorithm semilocal.Algorithm, workers int, out io.Writer) error {
+// hit/miss counters) is fully deterministic. traceStages appends the
+// stage breakdown table; metricsAddr serves the observability endpoints
+// while the batch runs ("-" prints one exposition after it).
+func runBatch(path string, algorithm semilocal.Algorithm, workers int, traceStages bool, metricsAddr string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -297,11 +331,24 @@ func runBatch(path string, algorithm semilocal.Algorithm, workers int, out io.Wr
 		return err
 	}
 
+	var rec *semilocal.StageRecorder
+	if traceStages || metricsAddr != "" {
+		rec = semilocal.NewStageRecorder()
+	}
 	engine := semilocal.NewEngine(semilocal.EngineOptions{
 		Config:  semilocal.Config{Algorithm: algorithm},
 		Workers: workers,
+		Obs:     rec,
 	})
 	defer engine.Close()
+	if metricsAddr != "" && metricsAddr != "-" {
+		ms, err := startMetricsServer(metricsAddr, rec, engine)
+		if err != nil {
+			return err
+		}
+		defer ms.stop()
+		fmt.Fprintf(out, "# metrics: serving on http://%s/metrics\n", ms.addr())
+	}
 	results := engine.BatchSolve(context.Background(), reqs)
 	for i, res := range results {
 		switch {
@@ -317,6 +364,12 @@ func runBatch(path string, algorithm semilocal.Algorithm, workers int, out io.Wr
 		}
 	}
 	fmt.Fprintf(out, "# engine: %s\n", engine.StatsLine())
+	if traceStages {
+		rec.Snapshot().WriteBreakdown(out)
+	}
+	if metricsAddr == "-" {
+		writeMetricsTo(out, rec, engine)
+	}
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 
 	"semilocal"
@@ -93,9 +94,11 @@ func main() {
 		"sticky braid", "combed", "dynamic programming",
 		"sticky braid", "partial kernels", "combed", "sticky braid",
 	}
+	rec := semilocal.NewStageRecorder()
 	engine := semilocal.NewEngine(semilocal.EngineOptions{
 		Config:  semilocal.Config{Algorithm: semilocal.AntidiagBranchless},
 		Workers: 4,
+		Obs:     rec,
 	})
 	defer engine.Close()
 	reqs := make([]semilocal.BatchRequest, len(patterns))
@@ -118,4 +121,15 @@ func main() {
 	if misses := engine.Stats()["cache_misses"]; misses != 4 {
 		log.Fatalf("expected 4 kernel solves for 4 distinct patterns, got %d", misses)
 	}
+
+	// The stage recorder attached above traced the whole serving path;
+	// its snapshot shows where the batch's time went (solver passes vs.
+	// cache waits vs. queue time) and how much work was combed.
+	snap := rec.Snapshot()
+	if solves := snap.Stages[semilocal.StageSolve].Count; solves != 4 {
+		log.Fatalf("stage trace disagrees with cache counters: %d solves", solves)
+	}
+	fmt.Printf("\nstage trace of the batch (p95 request latency %v):\n",
+		snap.Stages[semilocal.StageRequest].Quantile(0.95))
+	snap.WriteBreakdown(os.Stdout)
 }

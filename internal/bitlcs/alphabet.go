@@ -1,6 +1,10 @@
 package bitlcs
 
-import "fmt"
+import (
+	"fmt"
+
+	"semilocal/internal/obs"
+)
 
 // ScoreAlphabet generalizes the bit-parallel combing algorithm to an
 // arbitrary byte alphabet, answering the open question in the paper's
@@ -46,7 +50,10 @@ func ScoreAlphabet(a, b []byte, opt Options) int {
 		r++
 	}
 	st := newPlaneState(a, b, &code, r)
+	sp := opt.Rec.Start(obs.StageBitBlocks)
 	runBlocks(len(st.h), len(st.v), st.block, opt)
+	sp.End()
+	opt.Rec.Add(obs.CounterBitBlocks, int64(len(st.h))*int64(len(st.v)))
 	return len(a) - popcount(st.h)
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 )
 
@@ -71,6 +72,9 @@ type Options struct {
 	MinBlocks int
 	// Pool optionally supplies an existing worker pool.
 	Pool *parallel.Pool
+	// Rec receives the block-loop timing and block counter; nil (the
+	// default) disables instrumentation at zero cost.
+	Rec *obs.Recorder
 }
 
 func (o Options) minBlocks() int {
@@ -103,7 +107,10 @@ func Score(a, b []byte, v Version, opt Options) int {
 		panic(fmt.Sprintf("bitlcs: unknown version %d", int(v)))
 	}
 
+	sp := opt.Rec.Start(obs.StageBitBlocks)
 	runBlocks(len(st.h), len(st.v), process, opt)
+	sp.End()
+	opt.Rec.Add(obs.CounterBitBlocks, int64(len(st.h))*int64(len(st.v)))
 	return len(a) - popcount(st.h)
 }
 

@@ -17,6 +17,7 @@
 package combing
 
 import (
+	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 	"semilocal/internal/perm"
 )
@@ -53,6 +54,9 @@ type Options struct {
 	// Pool optionally supplies an existing worker pool. If nil and
 	// Workers > 1, a temporary pool is created for the call.
 	Pool *parallel.Pool
+	// Rec receives stage timings and cell counters; nil (the default)
+	// disables instrumentation at zero cost.
+	Rec *obs.Recorder
 }
 
 func (o Options) minChunk() int {
@@ -80,6 +84,12 @@ func finishKernel(hs, vs []int32, m, n int) perm.Permutation {
 // RowMajor computes the semi-local LCS kernel of a and b by iterative
 // combing in row-major order (Listing 1, the paper's semi_rowmajor).
 func RowMajor(a, b []byte) perm.Permutation {
+	return RowMajorObserved(a, b, nil)
+}
+
+// RowMajorObserved is RowMajor recording its pass and relabeling into
+// rec (nil disables instrumentation at zero cost).
+func RowMajorObserved(a, b []byte, rec *obs.Recorder) perm.Permutation {
 	m, n := len(a), len(b)
 	hs := make([]int32, m)
 	vs := make([]int32, n)
@@ -89,6 +99,7 @@ func RowMajor(a, b []byte) perm.Permutation {
 	for j := range vs {
 		vs[j] = int32(m + j)
 	}
+	sp := rec.Start(obs.StageCombRows)
 	for i := 0; i < m; i++ {
 		h := hs[m-1-i] // horizontal track of row i
 		ai := a[i]
@@ -101,7 +112,12 @@ func RowMajor(a, b []byte) perm.Permutation {
 		}
 		hs[m-1-i] = h
 	}
-	return finishKernel(hs, vs, m, n)
+	sp.End()
+	rec.Add(obs.CounterCombCells, int64(m)*int64(n))
+	fsp := rec.Start(obs.StageCombFinish)
+	k := finishKernel(hs, vs, m, n)
+	fsp.End()
+	return k
 }
 
 // ScoreFromKernel extracts the global LCS score of the original strings
@@ -139,6 +155,7 @@ func Antidiag(a, b []byte, opt Options) perm.Permutation {
 	defer st.close(&opt)
 	run := st.runner(&opt)
 
+	sp := opt.Rec.Start(obs.StageCombDiags)
 	// Phase 1: anti-diagonals 0 … m-2 of growing length.
 	for d := 0; d < m-1; d++ {
 		run(d+1, m-1-d, 0)
@@ -151,7 +168,13 @@ func Antidiag(a, b []byte, opt Options) perm.Permutation {
 	for q := 1; q < m; q++ {
 		run(m-q, 0, n-m+q)
 	}
-	return finishKernel(st.hs, st.vs, m, n)
+	sp.End()
+	opt.Rec.Add(obs.CounterCombCells, int64(m)*int64(n))
+	opt.Rec.Add(obs.CounterCombDiags, int64(m+n-1))
+	fsp := opt.Rec.Start(obs.StageCombFinish)
+	k := finishKernel(st.hs, st.vs, m, n)
+	fsp.End()
+	return k
 }
 
 // trivialKernel is the kernel of a pair involving an empty string: no

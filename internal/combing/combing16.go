@@ -3,6 +3,7 @@ package combing
 import (
 	"fmt"
 
+	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 	"semilocal/internal/perm"
 )
@@ -75,6 +76,7 @@ func Antidiag16(a, b []byte, opt Options) perm.Permutation {
 			pool.For(0, upBound, func(lo, hi int) { st.inner(lo, hi, hBase, vBase) })
 		}
 	}
+	sp := opt.Rec.Start(obs.StageCombDiags)
 	for d := 0; d < m-1; d++ {
 		run(d+1, m-1-d, 0)
 	}
@@ -84,7 +86,13 @@ func Antidiag16(a, b []byte, opt Options) perm.Permutation {
 	for q := 1; q < m; q++ {
 		run(m-q, 0, n-m+q)
 	}
-	return finishKernel16(st.hs, st.vs, m, n)
+	sp.End()
+	opt.Rec.Add(obs.CounterCombCells, int64(m)*int64(n))
+	opt.Rec.Add(obs.CounterCombDiags, int64(m+n-1))
+	fsp := opt.Rec.Start(obs.StageCombFinish)
+	k := finishKernel16(st.hs, st.vs, m, n)
+	fsp.End()
+	return k
 }
 
 type state16 struct {

@@ -1,6 +1,7 @@
 package combing
 
 import (
+	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 	"semilocal/internal/perm"
 )
@@ -61,6 +62,7 @@ func LoadBalanced(a, b []byte, opt Options, mult Multiplier) perm.Permutation {
 	if opt.Branchless {
 		inner1, inner3 = st1.innerBranchless, st3.innerBranchless
 	}
+	sp := opt.Rec.Start(obs.StageCombDiags)
 	for q := 1; q < m; q++ {
 		len1, h1, v1 := q, m-q, 0
 		len3, h3, v3 := m-q, 0, n-m+q
@@ -90,14 +92,24 @@ func LoadBalanced(a, b []byte, opt Options, mult Multiplier) perm.Permutation {
 	for k := 0; k <= n-m; k++ {
 		run2(m, 0, k)
 	}
+	sp.End()
+	// Phases 1+3 process m cells per paired iteration over m-1
+	// iterations; phase 2 covers the remaining band. Together: every
+	// cell exactly once.
+	opt.Rec.Add(obs.CounterCombCells, int64(m)*int64(n))
+	opt.Rec.Add(obs.CounterCombDiags, int64(m+n-1))
 
 	// Compose the three sub-braids in grid order: phase 1, then 2, then 3.
 	// stateKernel maps a strand's value — its entry-frontier position — to
 	// its final track; relabeling the track through the exit frontier
 	// yields the braid as a permutation between frontier coordinates.
+	// The multiplications record their own compose spans (when mult is
+	// observed), so only the relabeling is attributed to comb_finish.
+	fsp := opt.Rec.Start(obs.StageCombFinish)
 	p1 := stateKernel(st1, m, n).ApplyAfter(rhoA)
 	p2 := stateKernel(st2, m, n).ApplyAfter(rhoB)
 	p3 := stateKernel(st3, m, n).ApplyAfter(rhoEnd)
+	fsp.End()
 	return mult(mult(p1, p2), p3)
 }
 

@@ -21,6 +21,7 @@ import (
 	"semilocal/internal/combing"
 	"semilocal/internal/dominance"
 	"semilocal/internal/hybrid"
+	"semilocal/internal/obs"
 	"semilocal/internal/perm"
 	"semilocal/internal/steadyant"
 )
@@ -98,34 +99,46 @@ const MaxOrder = 1<<31 - 1
 // Solve computes the semi-local LCS kernel of a and b with the
 // configured algorithm.
 func Solve(a, b []byte, cfg Config) (*Kernel, error) {
+	return SolveObserved(a, b, cfg, nil)
+}
+
+// SolveObserved is Solve recording stage timings and work counters into
+// rec. The recorder is threaded through the algorithm layers rather
+// than stored in Config, which stays a comparable cache key. A nil rec
+// reproduces Solve exactly with zero instrumentation cost.
+func SolveObserved(a, b []byte, cfg Config, rec *obs.Recorder) (*Kernel, error) {
 	if len(a)+len(b) > MaxOrder {
 		return nil, fmt.Errorf("core: input order %d exceeds the int32 kernel limit %d", len(a)+len(b), MaxOrder)
 	}
+	mult := steadyant.ObservedMult(rec) // Multiply itself when rec == nil
+	sp := rec.Start(obs.StageSolve)
 	var p perm.Permutation
 	switch cfg.Algorithm {
 	case RowMajor:
-		p = combing.RowMajor(a, b)
+		p = combing.RowMajorObserved(a, b, rec)
 	case Antidiag:
-		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers})
+		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers, Rec: rec})
 	case AntidiagBranchless:
-		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers, Branchless: true})
+		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers, Branchless: true, Rec: rec})
 	case LoadBalanced:
-		p = combing.LoadBalanced(a, b, combing.Options{Workers: cfg.Workers, Branchless: true}, steadyant.Multiply)
+		p = combing.LoadBalanced(a, b, combing.Options{Workers: cfg.Workers, Branchless: true, Rec: rec}, mult)
 	case Recursive:
-		p = hybrid.Recursive(a, b, steadyant.Multiply)
+		p = hybrid.Recursive(a, b, mult)
 	case Hybrid:
 		depth := cfg.Depth
 		if depth == 0 {
 			depth = defaultHybridDepth(len(a), len(b), cfg.Workers)
 		}
-		p = hybrid.Hybrid(a, b, hybrid.Options{Depth: depth, Workers: cfg.Workers, Branchless: true})
+		p = hybrid.Hybrid(a, b, hybrid.Options{Depth: depth, Workers: cfg.Workers, Branchless: true, Rec: rec})
 	case GridReduction:
 		p = hybrid.GridReduction(a, b, hybrid.GridOptions{
-			Workers: cfg.Workers, Tiles: cfg.Tiles, Use16: cfg.Use16, Branchless: true,
+			Workers: cfg.Workers, Tiles: cfg.Tiles, Use16: cfg.Use16, Branchless: true, Rec: rec,
 		})
 	default:
+		sp.End()
 		return nil, fmt.Errorf("core: unknown algorithm %d", int(cfg.Algorithm))
 	}
+	sp.End()
 	return NewKernel(p, len(a), len(b)), nil
 }
 

@@ -2,6 +2,7 @@ package hybrid
 
 import (
 	"semilocal/internal/combing"
+	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 	"semilocal/internal/perm"
 	"semilocal/internal/steadyant"
@@ -24,13 +25,16 @@ type GridOptions struct {
 	// Mult is the braid multiplication for tile composition; nil selects
 	// the sequential combined steady ant.
 	Mult Mult
+	// Rec receives grid-phase timings, tile counters and (when Mult is
+	// nil) composition stats; nil disables instrumentation.
+	Rec *obs.Recorder
 }
 
 func (o GridOptions) mult() Mult {
 	if o.Mult != nil {
 		return o.Mult
 	}
-	return steadyant.Multiply
+	return steadyant.ObservedMult(o.Rec)
 }
 
 // GridReduction computes the kernel with the optimized hybrid of
@@ -74,7 +78,12 @@ func GridReduction(a, b []byte, opt GridOptions) perm.Permutation {
 		})
 	}
 
-	// Phase 1: comb every tile independently.
+	// Phase 1: comb every tile independently. The grid_comb span covers
+	// the whole phase; the per-tile comb_diags spans it encloses are the
+	// parallel leaf work (so grid phases are excluded from solve-coverage
+	// accounting to avoid double counting).
+	opt.Rec.Add(obs.CounterGridTiles, int64(mOuter)*int64(nOuter))
+	gsp := opt.Rec.Start(obs.StageGridComb)
 	grid := newGrid(mOuter, nOuter)
 	parFor(mOuter*nOuter, func(k int) {
 		i, j := k/nOuter, k%nOuter
@@ -82,11 +91,13 @@ func GridReduction(a, b []byte, opt GridOptions) perm.Permutation {
 		tb := b[bCuts[j]:bCuts[j+1]]
 		grid[i][j] = combTile(ta, tb, &opt)
 	})
+	gsp.End()
 
 	// Phase 2: pairwise reduction along the longest tile axis.
 	heights := spans(aCuts)
 	widths := spans(bCuts)
 	mult := opt.mult()
+	rsp := opt.Rec.Start(obs.StageGridReduce)
 	for mOuter > 1 || nOuter > 1 {
 		rowReduction := decideRowReduction(mOuter, nOuter, heights, widths)
 		if rowReduction {
@@ -117,6 +128,7 @@ func GridReduction(a, b []byte, opt GridOptions) perm.Permutation {
 			grid, heights, mOuter = next, mergePairs(heights), newM
 		}
 	}
+	rsp.End()
 	return grid[0][0]
 }
 
@@ -136,9 +148,9 @@ func decideRowReduction(mOuter, nOuter int, heights, widths []int) bool {
 
 func combTile(a, b []byte, opt *GridOptions) perm.Permutation {
 	if opt.Use16 && len(a)+len(b) <= combing.Max16 {
-		return combing.Antidiag16(a, b, combing.Options{})
+		return combing.Antidiag16(a, b, combing.Options{Rec: opt.Rec})
 	}
-	return combing.Antidiag(a, b, combing.Options{Branchless: opt.Branchless})
+	return combing.Antidiag(a, b, combing.Options{Branchless: opt.Branchless, Rec: opt.Rec})
 }
 
 // optimalSplit chooses the tile grid dimensions: it repeatedly doubles

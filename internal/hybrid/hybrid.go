@@ -13,6 +13,7 @@ package hybrid
 
 import (
 	"semilocal/internal/combing"
+	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 	"semilocal/internal/perm"
 	"semilocal/internal/steadyant"
@@ -90,13 +91,16 @@ type Options struct {
 	// Mult is the braid multiplication used for composition; nil selects
 	// the sequential combined steady ant.
 	Mult Mult
+	// Rec receives stage timings and counters from the leaf combing and
+	// (when Mult is nil) the compositions; nil disables instrumentation.
+	Rec *obs.Recorder
 }
 
 func (o Options) mult() Mult {
 	if o.Mult != nil {
 		return o.Mult
 	}
-	return steadyant.Multiply
+	return steadyant.ObservedMult(o.Rec)
 }
 
 // Hybrid computes the kernel by recursive splitting down to the given
@@ -116,7 +120,7 @@ func hybridRec(a, b []byte, depth int, lim *parallel.Limiter, opt *Options) perm
 		return trivialKernel(m, n)
 	}
 	if depth <= 0 || m+n <= 4 {
-		return combing.Antidiag(a, b, combing.Options{Branchless: opt.Branchless})
+		return combing.Antidiag(a, b, combing.Options{Branchless: opt.Branchless, Rec: opt.Rec})
 	}
 	mult := opt.mult()
 	var l, r perm.Permutation

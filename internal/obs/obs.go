@@ -1,0 +1,248 @@
+// Package obs is the instrumentation subsystem of this repository: stage
+// timers on the monotonic clock, lock-free sharded counters, and
+// fixed-bucket latency histograms with mergeable snapshots, threaded
+// through the kernel solvers and the query engine as a *Recorder.
+//
+// The cardinal design rule is that a nil *Recorder is the disabled
+// recorder: every method on a nil receiver is a no-op that performs
+// zero allocations, takes no clock reading, and touches no shared
+// memory, so instrumented hot paths cost nothing when observability is
+// off. Spans are plain values (never heap-allocated), stages and
+// counters are small enums resolved to fixed arrays (never map or
+// string lookups on the hot path), and histograms are arrays of atomic
+// bucket counters.
+//
+// When enabled, a Recorder is safe for concurrent use from any number
+// of goroutines, and Snapshot can be taken at any time while writers
+// are active. Snapshots are not a consistent cut across all atomics —
+// each individual cell is read atomically, but a snapshot taken under
+// concurrent writers may mix before/after values of different cells.
+// That is the standard monitoring contract; quiescent snapshots are
+// exact (see the concurrency tests).
+package obs
+
+import "time"
+
+// Stage names one timed region of the solver or serving pipeline.
+type Stage uint8
+
+const (
+	// StageSolve is one whole kernel solve (core.SolveObserved end to end).
+	StageSolve Stage = iota
+	// StageCombRows is a row-major iterative combing pass.
+	StageCombRows
+	// StageCombDiags is an anti-diagonal combing pass: all three
+	// phases (growing triangle, full band, shrinking triangle).
+	StageCombDiags
+	// StageCombFinish is the final track→kernel relabeling of a combing
+	// pass (finishKernel).
+	StageCombFinish
+	// StageCompose is one steady-ant braid multiplication (only
+	// multiplications of order ≥ ComposeSpanMinOrder are timed; all are
+	// counted).
+	StageCompose
+	// StageGridComb is phase 1 of grid reduction: combing all tiles.
+	// It overlaps the comb stages recorded by the tiles themselves, so
+	// it is excluded from breakdown coverage accounting.
+	StageGridComb
+	// StageGridReduce is phase 2 of grid reduction: the pairwise
+	// tile-kernel reduction. Overlaps StageCompose; excluded from
+	// coverage accounting.
+	StageGridReduce
+	// StageBitBlocks is the block loop of the bit-parallel LCS.
+	StageBitBlocks
+	// StagePrepare is the dominance-structure build that turns a solved
+	// kernel into a query-ready session.
+	StagePrepare
+	// StageCacheHit is an engine acquire served by a resident session.
+	StageCacheHit
+	// StageCacheMiss is an engine acquire that had to wait for a solve
+	// (both the solving request and requests deduplicated onto it).
+	StageCacheMiss
+	// StageQueueWait is the time a batch request spent waiting for a
+	// worker after submission.
+	StageQueueWait
+	// StageQuery is the query evaluation on a prepared session.
+	StageQuery
+	// StageRequest is one engine request end to end (wait + acquire +
+	// query).
+	StageRequest
+	// NumStages bounds the Stage enum.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"solve", "comb_rows", "comb_diags", "comb_finish", "compose",
+	"grid_comb", "grid_reduce", "bit_blocks", "prepare",
+	"cache_hit", "cache_miss", "queue_wait", "query", "request",
+}
+
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// solveChildren are the leaf stages whose durations partition a solve:
+// they nest directly inside StageSolve without overlapping each other,
+// so their sum is comparable against the solve wall time (the grid
+// phase stages overlap them and are excluded). StagePrepare runs after
+// the solve proper and is likewise excluded.
+var solveChildren = []Stage{StageCombRows, StageCombDiags, StageCombFinish, StageCompose, StageBitBlocks}
+
+// CounterID names one event counter.
+type CounterID uint8
+
+const (
+	// CounterCombCells counts LCS grid cells processed by combing.
+	CounterCombCells CounterID = iota
+	// CounterCombDiags counts anti-diagonals processed.
+	CounterCombDiags
+	// CounterComposes counts steady-ant multiplications.
+	CounterComposes
+	// CounterComposeOrder sums the permutation order over all
+	// multiplications.
+	CounterComposeOrder
+	// CounterArenaBytes sums the arena bytes allocated by observed
+	// multiplications (the 8N-word flip-flop blocks plus mapping and
+	// split scratch).
+	CounterArenaBytes
+	// CounterGridTiles counts tiles combed by grid reduction.
+	CounterGridTiles
+	// CounterBitBlocks counts word blocks processed by the bit-parallel
+	// LCS.
+	CounterBitBlocks
+	// CounterOpenSpans is a gauge: spans started minus spans ended. It
+	// must read zero whenever the recorded system is quiescent; the
+	// engine shutdown tests assert this.
+	CounterOpenSpans
+	// NumCounters bounds the CounterID enum.
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"comb_cells", "comb_diags", "composes", "compose_order",
+	"arena_bytes", "grid_tiles", "bit_blocks", "open_spans",
+}
+
+func (c CounterID) String() string {
+	if c < NumCounters {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// ComposeSpanMinOrder is the smallest multiplication order for which
+// StageCompose records a timed span. Smaller products (the O(m+n) tiny
+// compositions of the pure recursive algorithm) are only counted:
+// taking two clock readings around a table lookup would dominate the
+// thing being measured.
+const ComposeSpanMinOrder = 64
+
+// Recorder accumulates stage timings and counters. The zero value is
+// NOT the disabled recorder — a nil *Recorder is; construct enabled
+// recorders with New. All methods are nil-safe and safe for concurrent
+// use.
+type Recorder struct {
+	hist         [NumStages]Histogram
+	ctr          [NumCounters]ShardedCounter
+	composeDepth MaxGauge
+}
+
+// New returns an enabled recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Span is one in-progress stage timing, produced by Start and finished
+// by End. It is a value type: starting and ending a span allocates
+// nothing, whether or not the recorder is enabled.
+type Span struct {
+	r     *Recorder
+	stage Stage
+	start time.Time
+}
+
+// Start begins timing one occurrence of a stage. On a nil recorder it
+// returns an inert span and does not read the clock.
+func (r *Recorder) Start(stage Stage) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.ctr[CounterOpenSpans].Add(1)
+	return Span{r: r, stage: stage, start: time.Now()}
+}
+
+// End finishes the span, recording its monotonic-clock duration into
+// the stage's histogram. End on an inert span is a no-op; End must be
+// called exactly once per started span (CounterOpenSpans audits this).
+func (sp Span) End() {
+	if sp.r == nil {
+		return
+	}
+	sp.r.hist[sp.stage].Observe(time.Since(sp.start))
+	sp.r.ctr[CounterOpenSpans].Add(-1)
+}
+
+// Observe records one pre-measured duration into a stage's histogram
+// (used where the start time lives outside the instrumented frame, e.g.
+// queue wait).
+func (r *Recorder) Observe(stage Stage, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.hist[stage].Observe(d)
+}
+
+// Add increments a counter by d.
+func (r *Recorder) Add(c CounterID, d int64) {
+	if r == nil {
+		return
+	}
+	r.ctr[c].Add(d)
+}
+
+// RecordComposeDepth folds one observed steady-ant recursion depth into
+// the running maximum.
+func (r *Recorder) RecordComposeDepth(depth int64) {
+	if r == nil {
+		return
+	}
+	r.composeDepth.Record(depth)
+}
+
+// OpenSpans returns the number of currently open spans (started, not
+// yet ended). Zero whenever the recorded system is quiescent.
+func (r *Recorder) OpenSpans() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.ctr[CounterOpenSpans].Load()
+}
+
+// Counter returns the current value of one counter.
+func (r *Recorder) Counter(c CounterID) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.ctr[c].Load()
+}
+
+// Snapshot returns a point-in-time copy of everything the recorder has
+// accumulated. On a nil recorder it returns the zero snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		s.Stages[st] = r.hist[st].Snapshot()
+	}
+	for c := CounterID(0); c < NumCounters; c++ {
+		s.Counters[c] = r.ctr[c].Load()
+	}
+	s.ComposeDepthMax = r.composeDepth.Load()
+	return s
+}

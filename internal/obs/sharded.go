@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// numShards is the stripe width of a ShardedCounter (a power of two).
+// 16 stripes of one cache line each keep a counter at 1KiB while
+// making it very unlikely that two cores hammer the same line.
+const numShards = 16
+
+// paddedInt64 is an atomic int64 padded to a cache line so neighboring
+// shards never share one.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a lock-free striped counter: increments scatter
+// across cache-line-padded shards (the shard is picked by the
+// runtime's per-thread PRNG, so there is no shared chooser state to
+// contend on), and Load sums the shards. Increments are exact: every
+// Add lands on exactly one shard atomically, so a quiescent Load
+// equals the sum of all deltas regardless of interleaving. The zero
+// value is ready to use.
+type ShardedCounter struct {
+	shards [numShards]paddedInt64
+}
+
+// Add adds d to the counter.
+func (c *ShardedCounter) Add(d int64) {
+	c.shards[rand.Uint32()&(numShards-1)].v.Add(d)
+}
+
+// Load returns the current total. Each shard is read atomically; under
+// concurrent writers the total is a linearizable sum only at
+// quiescence (the usual monitoring contract).
+func (c *ShardedCounter) Load() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// MaxGauge tracks a running maximum with a lock-free CAS loop. The
+// zero value is an empty gauge reading 0.
+type MaxGauge struct {
+	v atomic.Int64
+}
+
+// Record folds x into the maximum.
+func (g *MaxGauge) Record(x int64) {
+	for {
+		cur := g.v.Load()
+		if x <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Load returns the current maximum.
+func (g *MaxGauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,86 @@
+//go:build !race
+
+// The serving-layer half of the zero-allocation guard (see
+// internal/obs/alloc_test.go for the primitive half): threading the
+// instrumentation through Solve and the Session query hot paths must
+// not add a single allocation when tracing is disabled — and the
+// cached-acquire path must not allocate more when tracing is on either.
+package query
+
+import (
+	"context"
+	"testing"
+
+	"semilocal/internal/core"
+	"semilocal/internal/obs"
+)
+
+// TestSessionQueryHotPathZeroAllocs: prepared-session queries are pure
+// reads of the dominance structure; they must never allocate.
+func TestSessionQueryHotPathZeroAllocs(t *testing.T) {
+	k, err := core.Solve([]byte("mississippi"), []byte("missouri river basin"), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(k)
+	n := sess.N()
+	for name, query := range map[string]func(){
+		"Score":           func() { sess.Score() },
+		"StringSubstring": func() { sess.StringSubstring(2, n-2) },
+		"SuffixPrefix":    func() { sess.SuffixPrefix(3, n/2) },
+	} {
+		if got := testing.AllocsPerRun(1000, query); got != 0 {
+			t.Errorf("%s allocates %v times per run, want 0", name, got)
+		}
+	}
+}
+
+// TestSolveObservedDisabledAddsZeroAllocs: a nil recorder must leave
+// Solve's allocation profile untouched — SolveObserved(nil) and Solve
+// run the identical path, spans included, without an extra allocation.
+func TestSolveObservedDisabledAddsZeroAllocs(t *testing.T) {
+	a, b := []byte("abcabcabcabcabcabcabcabc"), []byte("cbacbacbacbacbacba")
+	cfg := core.Config{Algorithm: core.AntidiagBranchless}
+	baseline := testing.AllocsPerRun(200, func() {
+		if _, err := core.Solve(a, b, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	disabled := testing.AllocsPerRun(200, func() {
+		if _, err := core.SolveObserved(a, b, cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if disabled != baseline {
+		t.Fatalf("disabled instrumentation changed Solve allocs: %v -> %v", baseline, disabled)
+	}
+}
+
+// TestAcquireHitPathAllocParity: the cached-session fast path performs
+// the same number of allocations whether tracing is disabled or
+// enabled — recording a hit is a clock read and atomic bumps, nothing
+// on the heap.
+func TestAcquireHitPathAllocParity(t *testing.T) {
+	a, b := []byte("gattacagattaca"), []byte("tacatacatacata")
+	ctx := context.Background()
+
+	measure := func(rec *obs.Recorder) float64 {
+		e := NewEngine(Options{Obs: rec})
+		defer e.Close()
+		if _, err := e.Acquire(ctx, a, b); err != nil { // warm the cache
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(1000, func() {
+			sess, err := e.Acquire(ctx, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess.Score()
+		})
+	}
+	off := measure(nil)
+	on := measure(obs.New())
+	if on != off {
+		t.Fatalf("traced hit path allocates %v per run vs %v untraced; tracing must add 0", on, off)
+	}
+}

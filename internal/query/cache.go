@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"context"
 	"hash/fnv"
+	"time"
 
 	"semilocal/internal/core"
+	"semilocal/internal/obs"
 	"semilocal/internal/stats"
 	"sync"
 )
@@ -55,6 +57,7 @@ type shard struct {
 type cache struct {
 	shards []*shard
 	solve  func(a, b []byte, cfg core.Config) (*core.Kernel, error)
+	rec    *obs.Recorder
 
 	hits      *stats.Counter // request served by a resident session
 	misses    *stats.Counter // request started a solve
@@ -63,7 +66,7 @@ type cache struct {
 	bytes     *stats.Counter // resident session bytes (gauge)
 }
 
-func newCache(shards, capacity int, reg *stats.Registry) *cache {
+func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder) *cache {
 	if shards < 1 {
 		shards = 1
 	}
@@ -75,11 +78,17 @@ func newCache(shards, capacity int, reg *stats.Registry) *cache {
 	c := &cache{
 		shards:    make([]*shard, shards),
 		solve:     core.Solve,
+		rec:       rec,
 		hits:      reg.Counter("cache_hits"),
 		misses:    reg.Counter("cache_misses"),
 		deduped:   reg.Counter("cache_deduped"),
 		evictions: reg.Counter("cache_evictions"),
 		bytes:     reg.Counter("cache_bytes"),
+	}
+	if rec != nil {
+		c.solve = func(a, b []byte, cfg core.Config) (*core.Kernel, error) {
+			return core.SolveObserved(a, b, cfg, rec)
+		}
 	}
 	per := (capacity + shards - 1) / shards
 	for i := range c.shards {
@@ -106,6 +115,15 @@ func (c *cache) acquire(ctx context.Context, key cacheKey) (*Session, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// cache_hit / cache_miss histograms split acquire latency by
+	// outcome: a hit is a map lookup under the shard lock, a miss (or a
+	// dedup join) waits for the solve. The clock is read only when
+	// tracing is on.
+	var t0 time.Time
+	traced := c.rec.Enabled()
+	if traced {
+		t0 = time.Now()
+	}
 	sh := c.shards[key.shardOf(len(c.shards))]
 
 	sh.mu.Lock()
@@ -113,6 +131,9 @@ func (c *cache) acquire(ctx context.Context, key cacheKey) (*Session, error) {
 		sh.lru.MoveToFront(el)
 		sh.mu.Unlock()
 		c.hits.Inc()
+		if traced {
+			c.rec.Observe(obs.StageCacheHit, time.Since(t0))
+		}
 		return el.Value.(*entry).sess, nil
 	}
 	fl, joined := sh.inflight[key]
@@ -129,6 +150,9 @@ func (c *cache) acquire(ctx context.Context, key cacheKey) (*Session, error) {
 	}
 	select {
 	case <-fl.done:
+		if traced {
+			c.rec.Observe(obs.StageCacheMiss, time.Since(t0))
+		}
 		return fl.sess, fl.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -140,7 +164,9 @@ func (c *cache) acquire(ctx context.Context, key cacheKey) (*Session, error) {
 func (c *cache) runFlight(sh *shard, key cacheKey, fl *flight) {
 	k, err := c.solve([]byte(key.a), []byte(key.b), key.cfg)
 	if err == nil {
+		psp := c.rec.Start(obs.StagePrepare)
 		fl.sess = NewSession(k)
+		psp.End()
 	} else {
 		fl.err = err
 	}

@@ -3,10 +3,12 @@ package query
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
 	"semilocal/internal/core"
+	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 	"semilocal/internal/stats"
 )
@@ -31,6 +33,11 @@ type Options struct {
 	// Stats receives the engine's counters; nil allocates a private
 	// registry, exposed by Engine.Stats.
 	Stats *stats.Registry
+	// Obs receives stage timings (queue wait, cache hit/miss latency,
+	// per-request end-to-end, solver stages) and work counters. nil (the
+	// default) disables tracing entirely: the hot paths run the
+	// uninstrumented code with zero extra allocations.
+	Obs *obs.Recorder
 }
 
 // Defaults for Options zero values.
@@ -48,6 +55,7 @@ type Engine struct {
 	pool   *parallel.Pool
 	cfg    core.Config
 	reg    *stats.Registry
+	rec    *obs.Recorder
 	closed atomic.Bool
 
 	requests *stats.Counter // BatchSolve requests accepted
@@ -69,14 +77,19 @@ func NewEngine(opts Options) *Engine {
 		maxKernels = DefaultMaxKernels
 	}
 	return &Engine{
-		cache:    newCache(shards, maxKernels, reg),
+		cache:    newCache(shards, maxKernels, reg, opts.Obs),
 		pool:     parallel.NewPool(opts.Workers),
 		cfg:      opts.Config,
 		reg:      reg,
+		rec:      opts.Obs,
 		requests: reg.Counter("requests"),
 		inflight: reg.Counter("requests_inflight"),
 	}
 }
+
+// Recorder returns the engine's stage recorder (nil when tracing is
+// disabled). Snapshot it for breakdowns or metrics exposition.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // Close stops the engine's workers. The engine must not be used
 // afterwards; BatchSolve and Acquire on a closed engine return an error.
@@ -164,9 +177,28 @@ func (e *Engine) BatchSolve(ctx context.Context, reqs []Request) []Result {
 		return out
 	}
 	e.requests.Add(int64(len(reqs)))
+	if !e.rec.Enabled() {
+		e.pool.Each(len(reqs), func(i int) {
+			e.inflight.Inc()
+			out[i] = e.one(ctx, reqs[i])
+			e.inflight.Add(-1)
+		})
+		return out
+	}
+	// Traced path: queue_wait is the delay between batch submission and a
+	// worker picking the request up; request is the end-to-end span from
+	// submission to answer (so request − queue_wait is pure processing).
+	// Requests run under pprof labels, so CPU profiles of a serving
+	// engine attribute samples to the batch-solve operation and query
+	// kind.
+	submit := time.Now()
 	e.pool.Each(len(reqs), func(i int) {
 		e.inflight.Inc()
-		out[i] = e.one(ctx, reqs[i])
+		e.rec.Observe(obs.StageQueueWait, time.Since(submit))
+		pprof.Do(ctx, pprof.Labels("op", "batch_solve", "kind", reqs[i].Kind.String()), func(ctx context.Context) {
+			out[i] = e.one(ctx, reqs[i])
+		})
+		e.rec.Observe(obs.StageRequest, time.Since(submit))
 		e.inflight.Add(-1)
 	})
 	return out
@@ -190,6 +222,16 @@ func (e *Engine) one(ctx context.Context, req Request) Result {
 	if err != nil {
 		return Result{Err: err}
 	}
+	qsp := e.rec.Start(obs.StageQuery)
+	res := answer(sess, req)
+	qsp.End()
+	return res
+}
+
+// answer runs one validated query against its prepared session; the
+// query span times exactly this (kernel lookups and window sweeps),
+// separated from cache acquisition and solve time.
+func answer(sess *Session, req Request) Result {
 	switch req.Kind {
 	case Score:
 		return Result{Score: sess.Score()}

@@ -30,6 +30,10 @@ func (c *Counter) Add(d int64) { c.v.Add(d) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Store overwrites the value (gauge semantics: observability layers use
+// it to publish absolute snapshot values).
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
 // Registry is a concurrency-safe set of named counters. The zero value
 // is not usable; construct with NewRegistry.
 type Registry struct {
@@ -61,7 +65,14 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns a point-in-time copy of every counter value.
+// Set stores v into the counter registered under name (creating it on
+// first use) — the gauge-style entry point snapshot publishers use.
+func (r *Registry) Set(name string, v int64) { r.Counter(name).Store(v) }
+
+// Snapshot returns a point-in-time copy of every counter value. Every
+// individual counter is read atomically (counters are atomic.Int64
+// under the hood), so a snapshot taken under concurrent writers never
+// observes a torn value — the -race regression test pins this.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -38,6 +38,74 @@ func TestRegistryStablePointersAndSnapshot(t *testing.T) {
 	}
 }
 
+func TestSetAndStore(t *testing.T) {
+	r := NewRegistry()
+	r.Set("gauge", 42)
+	if got := r.Counter("gauge").Load(); got != 42 {
+		t.Fatalf("Set then Load = %d, want 42", got)
+	}
+	r.Set("gauge", 7) // gauge semantics: overwrite, not accumulate
+	if got := r.Snapshot()["gauge"]; got != 7 {
+		t.Fatalf("re-Set then Snapshot = %d, want 7", got)
+	}
+	var c Counter
+	c.Add(100)
+	c.Store(-3)
+	if got := c.Load(); got != -3 {
+		t.Fatalf("Store then Load = %d, want -3", got)
+	}
+}
+
+// TestSnapshotAtomicUnderWriters is the -race regression test for the
+// snapshot paths: Snapshot, String and Set race against Add/Inc/Store
+// writers on the same counters. Every counter read in a snapshot goes
+// through atomic.Int64.Load, so the race detector stays silent and no
+// torn value can be observed; the final quiescent snapshot must be
+// exact.
+func TestSnapshotAtomicUnderWriters(t *testing.T) {
+	r := NewRegistry()
+	const writers, perW = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot readers run until the writers finish.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if v := snap["hot"]; v < 0 || v > writers*perW {
+					t.Errorf("snapshot observed impossible value %d", v)
+					return
+				}
+				_ = r.String()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < perW; i++ {
+				r.Counter("hot").Inc()
+				r.Set(fmt.Sprintf("gauge_%d", g%2), int64(i))
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := r.Snapshot()["hot"]; got != writers*perW {
+		t.Fatalf("quiescent snapshot = %d, want %d", got, writers*perW)
+	}
+}
+
 // TestRegistryConcurrent hammers Counter resolution and increments from
 // many goroutines; run under -race via make test-race.
 func TestRegistryConcurrent(t *testing.T) {

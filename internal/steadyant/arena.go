@@ -31,10 +31,11 @@ func newArenaBlock(n int) *arenaBlock {
 }
 
 type arena struct {
-	n       int
-	colRank []int32   // shared split scratch (used strictly before recursing)
-	maps    [][]int32 // per-depth mapping storage, lazily grown
-	base    int
+	n        int
+	colRank  []int32   // shared split scratch (used strictly before recursing)
+	maps     [][]int32 // per-depth mapping storage, lazily grown
+	base     int
+	maxDepth int // deepest recursion level reached (single-goroutine, plain write)
 }
 
 // mapsAt returns a mapping buffer of at least 2n words for a node of
@@ -68,6 +69,9 @@ func multiplyArena(p, q perm.Permutation, base int) perm.Permutation {
 }
 
 func (a *arena) rec(cur, other *arenaBlock, depth, off, n int) {
+	if depth > a.maxDepth {
+		a.maxDepth = depth
+	}
 	p := cur.p[off : off+n]
 	q := cur.q[off : off+n]
 	if n <= a.base {

@@ -27,6 +27,7 @@ import (
 	"semilocal/internal/core"
 	"semilocal/internal/editdist"
 	"semilocal/internal/lcs"
+	"semilocal/internal/obs"
 	"semilocal/internal/query"
 )
 
@@ -58,6 +59,74 @@ const (
 // Solve computes the semi-local LCS kernel of a and b.
 func Solve(a, b []byte, cfg Config) (*Kernel, error) {
 	return core.Solve(a, b, cfg)
+}
+
+// Observability: stage tracing and latency histograms. A StageRecorder
+// threads through the solver layers (combing passes, steady-ant
+// composition, hybrid phases, bit-parallel block loops) and the query
+// Engine (queue wait, cache hit/miss latency, per-request end-to-end),
+// accumulating lock-free histograms and counters. A nil recorder
+// disables everything at zero cost — the hot paths do not allocate or
+// read the clock. Snapshot() is cheap and safe to take while solves are
+// running; snapshots merge, so per-worker recorders can be combined.
+
+// StageRecorder accumulates stage timings and work counters.
+type StageRecorder = obs.Recorder
+
+// StageSnapshot is a consistent copy of a recorder's state; see
+// WriteBreakdown for the human-readable stage table and SolveCoverage
+// for how much solve wall time the leaf stages explain.
+type StageSnapshot = obs.Snapshot
+
+// Stage indexes StageSnapshot.Stages: one latency histogram per traced
+// stage.
+type Stage = obs.Stage
+
+// The traced stages. Solver stages (comb/compose/grid/bit) nest inside
+// StageSolve; serving stages (cache/queue/query/request) come from the
+// Engine.
+const (
+	StageSolve      = obs.StageSolve      // one whole kernel solve
+	StageCombRows   = obs.StageCombRows   // row-major combing pass
+	StageCombDiags  = obs.StageCombDiags  // anti-diagonal combing passes
+	StageCombFinish = obs.StageCombFinish // track relabeling into the kernel
+	StageCompose    = obs.StageCompose    // steady-ant braid multiplication
+	StageGridComb   = obs.StageGridComb   // grid-reduction tile combing phase
+	StageGridReduce = obs.StageGridReduce // grid-reduction pairwise reduction
+	StageBitBlocks  = obs.StageBitBlocks  // bit-parallel block loop
+	StagePrepare    = obs.StagePrepare    // session preprocessing after a solve
+	StageCacheHit   = obs.StageCacheHit   // acquire served by a resident session
+	StageCacheMiss  = obs.StageCacheMiss  // acquire that waited for a solve
+	StageQueueWait  = obs.StageQueueWait  // batch submission → worker pickup
+	StageQuery      = obs.StageQuery      // answering one query on a session
+	StageRequest    = obs.StageRequest    // one request end to end
+)
+
+// StageCounter indexes StageSnapshot.Counters: work volume counters
+// (combed cells, compositions and their total order, arena bytes, grid
+// tiles, bit blocks, currently open spans).
+type StageCounter = obs.CounterID
+
+// The work counters.
+const (
+	CounterCombCells    = obs.CounterCombCells
+	CounterCombDiags    = obs.CounterCombDiags
+	CounterComposes     = obs.CounterComposes
+	CounterComposeOrder = obs.CounterComposeOrder
+	CounterArenaBytes   = obs.CounterArenaBytes
+	CounterGridTiles    = obs.CounterGridTiles
+	CounterBitBlocks    = obs.CounterBitBlocks
+	CounterOpenSpans    = obs.CounterOpenSpans
+)
+
+// NewStageRecorder returns an enabled recorder. Pass it to
+// SolveObserved or EngineOptions.Obs.
+func NewStageRecorder() *StageRecorder { return obs.New() }
+
+// SolveObserved is Solve recording per-stage timings and counters into
+// rec; rec == nil behaves exactly like Solve.
+func SolveObserved(a, b []byte, cfg Config, rec *StageRecorder) (*Kernel, error) {
+	return core.SolveObserved(a, b, cfg, rec)
 }
 
 // LCS returns the (global) LCS score of a and b using plain linear-space
