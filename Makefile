@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race test-race check check-obs bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
+.PHONY: all build test race test-race check check-obs check-chaos bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -37,6 +37,18 @@ check-obs:
 	go test ./internal/obs ./internal/query ./internal/stats ./cmd/semilocal
 	go test -race ./internal/obs ./internal/query ./internal/stats
 	go test -run 'TestStageCoverage4096|TestSolveObservedMatchesSolve' ./internal/core
+
+# Chaos lane: the fault-injection harness and the hardened serving
+# path, under the race detector — deterministic-replay goldens, the
+# metamorphic oracle-identity suite, retry/shed/degradation semantics,
+# the goroutine-leak gates (TestShutdownNoLeaks and the abandoned-
+# flight reap regression), and the parallel-runtime edge cases (nested
+# For, panic propagation, limiter bounds). The zero-alloc guards for
+# disabled chaos and the hardening knobs only compile without -race,
+# so they run in a second, race-free pass. Well under 5 minutes.
+check-chaos:
+	go test -race ./internal/chaos ./internal/query ./internal/parallel ./internal/core ./cmd/semilocal
+	go test -run 'ZeroAllocs|AllocParity' ./internal/query ./internal/core
 
 bench:
 	go test -bench=. -benchmem ./...

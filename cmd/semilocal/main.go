@@ -30,6 +30,16 @@
 //	ABCABBA CBABAC string-substring 1 5
 //	ABCABBA CBABAC windows 3
 //
+// Serving hardening (all -serve-batch only): -deadline bounds each
+// request, -retries with -retry-backoff re-attempts transient solve
+// failures, -max-queue sheds requests past a queue bound, and
+// -degrade-below falls back to the sequential algorithm when a
+// request's remaining deadline is short. -chaos injects deterministic
+// faults (seeded by -chaos-seed) into the serving path for drills:
+//
+//	semilocal -serve-batch queries.txt -max-queue 3
+//	semilocal -serve-batch queries.txt -chaos "solve:error:1000:0:2" -retries 3
+//
 // Observability: -trace-stages appends a per-solve stage breakdown
 // table (where the wall time went: combing passes, braid composition,
 // query-structure preparation, cache waits) to the output of any LCS
@@ -49,6 +59,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"semilocal"
 	"semilocal/internal/dataset"
@@ -91,6 +102,13 @@ func run(args []string, out io.Writer) error {
 	batch := fs.String("serve-batch", "", "answer a whole file of requests through the batch query engine")
 	traceStages := fs.Bool("trace-stages", false, "append a per-solve stage breakdown table")
 	metricsAddr := fs.String("metrics", "", "with -serve-batch: serve /metrics, /debug/vars and /debug/pprof on this address ('-' prints one exposition to stdout)")
+	maxQueue := fs.Int("max-queue", 0, "with -serve-batch: shed requests past this queue bound (0 = unbounded)")
+	retries := fs.Int("retries", 0, "with -serve-batch: total solve attempts for transient failures (≤1 = no retry)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "with -serve-batch: base wait before the first retry, doubling per attempt")
+	deadline := fs.Duration("deadline", 0, "with -serve-batch: per-request deadline (0 = none)")
+	degradeBelow := fs.Duration("degrade-below", 0, "with -serve-batch: fall back to the sequential algorithm when remaining deadline is below this")
+	chaosSpec := fs.String("chaos", "", "with -serve-batch: fault-injection rules `point:fault:permille[:latency[:maxcount]],...`")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "with -serve-batch: seed of the deterministic chaos schedule")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,10 +117,39 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown algorithm %q (want one of %s)", *alg, algorithmNames())
 	}
 	if *batch != "" {
-		return runBatch(*batch, algorithm, *workers, *traceStages, *metricsAddr, out)
+		opts := batchOptions{
+			algorithm:    algorithm,
+			workers:      *workers,
+			traceStages:  *traceStages,
+			metricsAddr:  *metricsAddr,
+			maxQueue:     *maxQueue,
+			retries:      *retries,
+			retryBackoff: *retryBackoff,
+			deadline:     *deadline,
+			degradeBelow: *degradeBelow,
+		}
+		if *chaosSpec != "" {
+			rules, err := semilocal.ParseChaosSpec(*chaosSpec)
+			if err != nil {
+				return fmt.Errorf("-chaos: %w", err)
+			}
+			opts.chaosRules = rules
+			opts.chaosSeed = *chaosSeed
+		}
+		return runBatch(*batch, opts, out)
 	}
-	if *metricsAddr != "" {
-		return fmt.Errorf("-metrics requires -serve-batch")
+	for name, set := range map[string]bool{
+		"-metrics":       *metricsAddr != "",
+		"-max-queue":     *maxQueue != 0,
+		"-retries":       *retries != 0,
+		"-retry-backoff": *retryBackoff != 0,
+		"-deadline":      *deadline != 0,
+		"-degrade-below": *degradeBelow != 0,
+		"-chaos":         *chaosSpec != "",
+	} {
+		if set {
+			return fmt.Errorf("%s requires -serve-batch", name)
+		}
 	}
 
 	a, b, rest, err := loadInputs(fs.Args(), *aText, *bText, *fasta)
@@ -300,13 +347,32 @@ func parseBatchLine(line string) (semilocal.BatchRequest, error) {
 	return req, nil
 }
 
+// batchOptions carries the -serve-batch mode's knobs: the solve
+// configuration, the observability sinks, and the hardening /
+// fault-injection settings that only make sense with an engine.
+type batchOptions struct {
+	algorithm    semilocal.Algorithm
+	workers      int
+	traceStages  bool
+	metricsAddr  string
+	maxQueue     int
+	retries      int
+	retryBackoff time.Duration
+	deadline     time.Duration
+	degradeBelow time.Duration
+	chaosRules   []semilocal.ChaosRule
+	chaosSeed    uint64
+}
+
 // runBatch answers every request in the file through one engine, then
 // prints the engine's cache counters. With -workers 1 the batch is
 // processed sequentially in file order, so the output (including the
-// hit/miss counters) is fully deterministic. traceStages appends the
-// stage breakdown table; metricsAddr serves the observability endpoints
-// while the batch runs ("-" prints one exposition after it).
-func runBatch(path string, algorithm semilocal.Algorithm, workers int, traceStages bool, metricsAddr string, out io.Writer) error {
+// hit/miss counters) is fully deterministic — including which requests
+// are shed under -max-queue, since admission happens at batch arrival.
+// traceStages appends the stage breakdown table; metricsAddr serves
+// the observability endpoints while the batch runs ("-" prints one
+// exposition after it).
+func runBatch(path string, opts batchOptions, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -332,17 +398,36 @@ func runBatch(path string, algorithm semilocal.Algorithm, workers int, traceStag
 	}
 
 	var rec *semilocal.StageRecorder
-	if traceStages || metricsAddr != "" {
+	if opts.traceStages || opts.metricsAddr != "" {
 		rec = semilocal.NewStageRecorder()
 	}
+	var inj *semilocal.ChaosInjector
+	if len(opts.chaosRules) > 0 {
+		// Built after the recorder so injected faults count in -metrics.
+		var err error
+		inj, err = semilocal.NewChaosInjector(semilocal.ChaosConfig{
+			Seed: opts.chaosSeed, Rules: opts.chaosRules, Obs: rec,
+		})
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+	}
 	engine := semilocal.NewEngine(semilocal.EngineOptions{
-		Config:  semilocal.Config{Algorithm: algorithm},
-		Workers: workers,
-		Obs:     rec,
+		Config:   semilocal.Config{Algorithm: opts.algorithm},
+		Workers:  opts.workers,
+		Obs:      rec,
+		MaxQueue: opts.maxQueue,
+		Retry: semilocal.RetryPolicy{
+			MaxAttempts: opts.retries,
+			BaseBackoff: opts.retryBackoff,
+		},
+		Deadline:     opts.deadline,
+		DegradeBelow: opts.degradeBelow,
+		Chaos:        inj,
 	})
 	defer engine.Close()
-	if metricsAddr != "" && metricsAddr != "-" {
-		ms, err := startMetricsServer(metricsAddr, rec, engine)
+	if opts.metricsAddr != "" && opts.metricsAddr != "-" {
+		ms, err := startMetricsServer(opts.metricsAddr, rec, engine)
 		if err != nil {
 			return err
 		}
@@ -364,10 +449,10 @@ func runBatch(path string, algorithm semilocal.Algorithm, workers int, traceStag
 		}
 	}
 	fmt.Fprintf(out, "# engine: %s\n", engine.StatsLine())
-	if traceStages {
+	if opts.traceStages {
 		rec.Snapshot().WriteBreakdown(out)
 	}
-	if metricsAddr == "-" {
+	if opts.metricsAddr == "-" {
 		writeMetricsTo(out, rec, engine)
 	}
 	return nil

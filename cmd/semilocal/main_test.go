@@ -134,6 +134,15 @@ func TestGolden(t *testing.T) {
 		{"edit-windows", []string{"-edit", "-a-text", "kitten", "-b-text", "the sitting cat", "windows", "-top", "2"}},
 		{"edit-query", []string{"-edit", "-a-text", "kitten", "-b-text", "sitting", "query", "-kind", "string-substring", "-from", "0", "-to", "6"}},
 		{"serve-batch", []string{"-serve-batch", filepath.Join("testdata", "batch.txt")}},
+		// Admission at batch arrival with one sequential worker: the
+		// first 3 requests are admitted, requests 3..9 shed — exactly,
+		// run after run.
+		{"serve-batch-shed", []string{"-serve-batch", filepath.Join("testdata", "batch.txt"), "-max-queue", "3"}},
+		// A chaos error rule with a 2-firing budget plus 3 solve
+		// attempts: the first solve fails twice and is retried to
+		// success; answers match the fault-free golden.
+		{"serve-batch-chaos", []string{"-serve-batch", filepath.Join("testdata", "batch.txt"),
+			"-chaos", "solve:error:1000:0:2", "-retries", "3", "-retry-backoff", "1ms"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -206,5 +215,64 @@ func TestServeBatchErrors(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "error:") {
 		t.Errorf("out-of-range request did not surface an error line:\n%s", buf.String())
+	}
+}
+
+// TestHardeningFlagsRequireServeBatch: the serving knobs are engine
+// configuration; outside -serve-batch they are a usage error, not a
+// silent no-op.
+func TestHardeningFlagsRequireServeBatch(t *testing.T) {
+	base := []string{"-a-text", "ABC", "-b-text", "CBA"}
+	for _, extra := range [][]string{
+		{"-max-queue", "3"},
+		{"-retries", "2"},
+		{"-retry-backoff", "1ms"},
+		{"-deadline", "1s"},
+		{"-degrade-below", "1ms"},
+		{"-chaos", "solve:latency:10:1ms"},
+	} {
+		args := append(append([]string{}, extra...), append(base, "score")...)
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want 'requires -serve-batch' error", args)
+		}
+	}
+	// A malformed chaos spec is rejected before the batch file is read.
+	if err := run([]string{"-serve-batch", "/nonexistent", "-chaos", "bogus"}, io.Discard); err == nil {
+		t.Error("malformed -chaos spec accepted")
+	}
+}
+
+// TestServeBatchDeadlineAndDegrade smoke-tests the remaining batch
+// knobs end to end: a generous deadline with degradation on answers
+// identically to the plain run.
+func TestServeBatchDeadlineAndDegrade(t *testing.T) {
+	batch := filepath.Join("testdata", "batch.txt")
+	var plain, hardened bytes.Buffer
+	if err := run([]string{"-serve-batch", batch}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve-batch", batch,
+		"-alg", "grid", "-deadline", "10s", "-degrade-below", "1h"}, &hardened); err != nil {
+		t.Fatal(err)
+	}
+	pl := strings.Split(plain.String(), "\n")
+	hl := strings.Split(hardened.String(), "\n")
+	if len(pl) != len(hl) {
+		t.Fatalf("line count differs: %d vs %d", len(pl), len(hl))
+	}
+	degradedSeen := false
+	for i := range pl {
+		if strings.HasPrefix(pl[i], "# engine:") {
+			// Every valid request (9 of 10) degrades; the invalid one
+			// fails validation before the degradation check.
+			degradedSeen = strings.Contains(hl[i], "requests_degraded=9")
+			continue
+		}
+		if pl[i] != hl[i] {
+			t.Errorf("line %d differs under degradation:\nplain:    %s\nhardened: %s", i, pl[i], hl[i])
+		}
+	}
+	if !degradedSeen {
+		t.Errorf("degraded run did not report requests_degraded=2:\n%s", hardened.String())
 	}
 }

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the compact rule syntax used by cmd/semilocal's
+// -chaos flag: comma-separated rules of the form
+//
+//	point:fault:permille[:latency[:maxcount]]
+//
+// e.g. "solve:latency:1000:2ms" (every solve sleeps 2ms) or
+// "solve:error:250:0s:3,worker:stall:100:5ms" (a quarter of solves
+// fail, at most three times; a tenth of worker pickups stall 5ms).
+// Point and fault names are the String forms of the enums.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 || len(fields) > 5 {
+			return nil, fmt.Errorf("chaos: rule %q: want point:fault:permille[:latency[:maxcount]]", part)
+		}
+		p, err := ParsePoint(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: rule %q: %w", part, err)
+		}
+		f, err := ParseFault(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: rule %q: %w", part, err)
+		}
+		perMille, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: rule %q: bad per-mille: %w", part, err)
+		}
+		r := Rule{Point: p, Fault: f, PerMille: perMille}
+		if len(fields) >= 4 {
+			if r.Latency, err = time.ParseDuration(fields[3]); err != nil {
+				return nil, fmt.Errorf("chaos: rule %q: bad latency: %w", part, err)
+			}
+		}
+		if len(fields) == 5 {
+			if r.MaxCount, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("chaos: rule %q: bad max count: %w", part, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("chaos: empty spec %q", spec)
+	}
+	return rules, nil
+}

@@ -17,7 +17,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"semilocal/internal/chaos"
 	"semilocal/internal/combing"
 	"semilocal/internal/dominance"
 	"semilocal/internal/hybrid"
@@ -100,6 +102,37 @@ const MaxOrder = 1<<31 - 1
 // configured algorithm.
 func Solve(a, b []byte, cfg Config) (*Kernel, error) {
 	return SolveObserved(a, b, cfg, nil)
+}
+
+// SolveInjected is SolveObserved with fault injection: the injector is
+// consulted before the solve (artificial latency, forced transient
+// errors) and after it (errors that discard finished work). A nil
+// injector reproduces SolveObserved exactly — the two extra nil checks
+// are the entire disabled cost. Like the recorder, the injector is
+// threaded as an argument rather than stored in Config, which stays a
+// comparable cache key.
+func SolveInjected(a, b []byte, cfg Config, rec *obs.Recorder, inj *chaos.Injector) (*Kernel, error) {
+	if d := inj.At(chaos.PointSolveStart); d.Fault != chaos.FaultNone {
+		switch d.Fault {
+		case chaos.FaultLatency:
+			time.Sleep(d.Latency)
+		case chaos.FaultError:
+			return nil, chaos.Injected(chaos.PointSolveStart)
+		}
+	}
+	k, err := SolveObserved(a, b, cfg, rec)
+	if err != nil {
+		return nil, err
+	}
+	if d := inj.At(chaos.PointSolveFinish); d.Fault != chaos.FaultNone {
+		switch d.Fault {
+		case chaos.FaultLatency:
+			time.Sleep(d.Latency)
+		case chaos.FaultError:
+			return nil, chaos.Injected(chaos.PointSolveFinish)
+		}
+	}
+	return k, nil
 }
 
 // SolveObserved is Solve recording stage timings and work counters into

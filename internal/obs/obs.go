@@ -67,6 +67,9 @@ const (
 	// StageRequest is one engine request end to end (wait + acquire +
 	// query).
 	StageRequest
+	// StageBackoff is one retry backoff wait between solve attempts of
+	// a request whose previous attempt failed transiently.
+	StageBackoff
 	// NumStages bounds the Stage enum.
 	NumStages
 )
@@ -75,6 +78,7 @@ var stageNames = [NumStages]string{
 	"solve", "comb_rows", "comb_diags", "comb_finish", "compose",
 	"grid_comb", "grid_reduce", "bit_blocks", "prepare",
 	"cache_hit", "cache_miss", "queue_wait", "query", "request",
+	"backoff",
 }
 
 func (s Stage) String() string {
@@ -117,6 +121,18 @@ const (
 	// must read zero whenever the recorded system is quiescent; the
 	// engine shutdown tests assert this.
 	CounterOpenSpans
+	// CounterRetries counts solve attempts re-issued by the engine's
+	// retry policy after a transient failure.
+	CounterRetries
+	// CounterSheds counts requests rejected by admission control (the
+	// bounded queue was full; the request got a typed shed error).
+	CounterSheds
+	// CounterDegradations counts requests that fell back from a
+	// parallel solve configuration to the sequential variant because a
+	// deadline was near or a worker stall was injected.
+	CounterDegradations
+	// CounterFaultsInjected counts faults fired by a chaos injector.
+	CounterFaultsInjected
 	// NumCounters bounds the CounterID enum.
 	NumCounters
 )
@@ -124,6 +140,7 @@ const (
 var counterNames = [NumCounters]string{
 	"comb_cells", "comb_diags", "composes", "compose_order",
 	"arena_bytes", "grid_tiles", "bit_blocks", "open_spans",
+	"retries", "sheds", "degradations", "faults_injected",
 }
 
 func (c CounterID) String() string {

@@ -15,6 +15,32 @@ type span struct {
 	lo, hi int
 	fn     func(lo, hi int)
 	done   *sync.WaitGroup
+	panicv *panicBox
+}
+
+// panicBox captures the first panic raised by any span of a barrier so
+// the caller of For can re-raise it; later panics of the same barrier
+// are dropped (one representative failure is enough to crash the
+// caller, and the WaitGroup stays balanced either way).
+type panicBox struct {
+	once sync.Once
+	val  any
+}
+
+func (b *panicBox) store(v any) { b.once.Do(func() { b.val = v }) }
+
+// run executes one span, capturing a panic instead of unwinding the
+// worker goroutine (which would kill the whole process and leave the
+// barrier hanging). Used identically by pool workers and by the inline
+// fallback path of For.
+func (s span) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicv.store(r)
+		}
+		s.done.Done()
+	}()
+	s.fn(s.lo, s.hi)
 }
 
 // Pool is a fixed set of persistent worker goroutines. A Pool amortizes
@@ -34,12 +60,16 @@ func NewPool(n int) *Pool {
 	}
 	p := &Pool{workers: make([]chan span, n)}
 	for i := range p.workers {
-		ch := make(chan span, 1)
+		// Unbuffered: a send succeeds only while the worker is parked
+		// at the receive, i.e. genuinely idle. Busy workers make For
+		// fall back to running the span inline, which is what makes
+		// nested For calls (a worker's fn invoking For on the same
+		// pool) deadlock-free by construction.
+		ch := make(chan span)
 		p.workers[i] = ch
 		go func() {
 			for s := range ch {
-				s.fn(s.lo, s.hi)
-				s.done.Done()
+				s.run()
 			}
 		}()
 	}
@@ -54,6 +84,12 @@ func (p *Pool) Size() int { return len(p.workers) }
 // run concurrently on disjoint spans. Empty ranges return immediately.
 // Calling For on a closed Pool panics with a diagnostic rather than
 // hanging or silently running inline.
+//
+// Spans whose worker is busy run inline on the caller, so For is safe
+// to call from inside a worker (nested parallel loops degrade to
+// sequential execution instead of deadlocking). A panic in any span —
+// worker or inline — is captured, the barrier completes, and the first
+// panic value is re-raised on the caller of For.
 func (p *Pool) For(lo, hi int, fn func(lo, hi int)) {
 	if p.closed.Load() {
 		panic("parallel: Pool.For called after Close")
@@ -71,6 +107,7 @@ func (p *Pool) For(lo, hi int, fn func(lo, hi int)) {
 		return
 	}
 	var done sync.WaitGroup
+	var pb panicBox
 	done.Add(w)
 	chunk := n / w
 	rem := n % w
@@ -80,10 +117,18 @@ func (p *Pool) For(lo, hi int, fn func(lo, hi int)) {
 		if i < rem {
 			end++
 		}
-		p.workers[i] <- span{lo: start, hi: end, fn: fn, done: &done}
+		s := span{lo: start, hi: end, fn: fn, done: &done, panicv: &pb}
+		select {
+		case p.workers[i] <- s:
+		default:
+			s.run() // worker busy (e.g. nested For): run on the caller
+		}
 		start = end
 	}
 	done.Wait()
+	if pb.val != nil {
+		panic(pb.val)
+	}
 }
 
 // Each runs fn(i) for every i in [0, n), split across the workers like
@@ -129,6 +174,12 @@ func NewLimiter(n int) *Limiter {
 // spawn slot is free and inline otherwise, and returns when both are
 // done. This is the fork-join primitive behind the paper's
 // "#pragma parallel task … task wait" structure.
+//
+// A panic in a spawned left branch is captured and re-raised on the
+// caller after both branches settle, mirroring the inline behavior (a
+// goroutine panic would otherwise kill the process before the join).
+// If right panics while a spawned left is still running, left finishes
+// on its own goroutine and releases its slot before the panic escapes.
 func (l *Limiter) Do(left, right func()) {
 	if l == nil || l.sem == nil {
 		left()
@@ -138,15 +189,24 @@ func (l *Limiter) Do(left, right func()) {
 	select {
 	case l.sem <- struct{}{}:
 		done := make(chan struct{})
+		var pb panicBox
 		go func() {
 			defer func() {
+				if r := recover(); r != nil {
+					pb.store(r)
+				}
 				<-l.sem
 				close(done)
 			}()
 			left()
 		}()
+		defer func() {
+			<-done
+			if pb.val != nil {
+				panic(pb.val)
+			}
+		}()
 		right()
-		<-done
 	default:
 		left()
 		right()

@@ -179,3 +179,191 @@ func TestPoolEach(t *testing.T) {
 		p.Close()
 	}
 }
+
+// TestPoolNestedFor: a worker's fn may call For on the same pool. The
+// inner loops degrade to inline execution where workers are busy
+// instead of deadlocking, and every index of every level still runs
+// exactly once.
+func TestPoolNestedFor(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		const outer, inner = 8, 64
+		hits := make([][]int32, outer)
+		for i := range hits {
+			hits[i] = make([]int32, inner)
+		}
+		p.For(0, outer, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := hits[i]
+				p.For(0, inner, func(jlo, jhi int) {
+					for j := jlo; j < jhi; j++ {
+						atomic.AddInt32(&row[j], 1)
+					}
+				})
+			}
+		})
+		for i := range hits {
+			for j, h := range hits[i] {
+				if h != 1 {
+					t.Fatalf("workers=%d: hits[%d][%d] = %d, want 1", workers, i, j, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolNestedForDeepRecursion pushes nesting past the worker count:
+// a recursive For tree four levels deep must complete with every leaf
+// visited once, whatever mixture of inline and worker execution the
+// scheduler produces.
+func TestPoolNestedForDeepRecursion(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var leaves int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			atomic.AddInt64(&leaves, 1)
+			return
+		}
+		p.For(0, 2, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rec(depth - 1)
+			}
+		})
+	}
+	rec(4)
+	if leaves != 16 {
+		t.Fatalf("leaves = %d, want 16", leaves)
+	}
+}
+
+// TestPoolForPanicPropagates: a panic inside a span must surface on the
+// caller of For with its original value — not crash the process from a
+// worker goroutine, not hang the barrier — and the pool must stay
+// usable afterwards.
+func TestPoolForPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 3; round++ {
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			p.For(0, 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == 11 {
+						panic("boom 11")
+					}
+				}
+			})
+			return nil
+		}()
+		if got != "boom 11" {
+			t.Fatalf("round %d: recovered %v, want \"boom 11\"", round, got)
+		}
+		// The barrier stayed balanced: the pool still works.
+		var n int32
+		p.For(0, 8, func(lo, hi int) { atomic.AddInt32(&n, int32(hi-lo)) })
+		if n != 8 {
+			t.Fatalf("round %d: pool broken after panic: covered %d of 8", round, n)
+		}
+	}
+}
+
+// TestPoolForInlinePanicPropagates: the single-worker fast path and the
+// inline-fallback path raise panics on the caller too.
+func TestPoolForInlinePanicPropagates(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		p.For(0, 4, func(lo, hi int) { panic("inline boom") })
+		return nil
+	}()
+	if got != "inline boom" {
+		t.Fatalf("recovered %v, want \"inline boom\"", got)
+	}
+}
+
+// TestLimiterDoPanicPropagates: panics in both the spawned left branch
+// and the inline right branch must reach the caller of Do, and the
+// spawn slot must be released either way (the limiter keeps working).
+func TestLimiterDoPanicPropagates(t *testing.T) {
+	l := NewLimiter(1)
+	for _, branch := range []string{"left", "right"} {
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			l.Do(
+				func() {
+					if branch == "left" {
+						panic("left boom")
+					}
+				},
+				func() {
+					if branch == "right" {
+						panic("right boom")
+					}
+				},
+			)
+			return nil
+		}()
+		if got != branch+" boom" {
+			t.Fatalf("branch %s: recovered %v", branch, got)
+		}
+		// Slot released: a follow-up Do still runs both branches.
+		var a, b int32
+		l.Do(func() { atomic.AddInt32(&a, 1) }, func() { atomic.AddInt32(&b, 1) })
+		if a != 1 || b != 1 {
+			t.Fatalf("branch %s: limiter broken after panic: a=%d b=%d", branch, a, b)
+		}
+	}
+}
+
+// TestLimiterConcurrencyBound: with a limit of k, a recursive fork-join
+// tree can have at most 1+k branches executing leaf work at the same
+// instant (the caller plus k spawned goroutines). The peak of an
+// entered-minus-exited gauge over every leaf pins the bound.
+func TestLimiterConcurrencyBound(t *testing.T) {
+	const limit = 3
+	l := NewLimiter(limit)
+	var active, peak, total int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			cur := atomic.AddInt64(&active, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+					break
+				}
+			}
+			atomic.AddInt64(&total, 1)
+			atomic.AddInt64(&active, -1)
+			return
+		}
+		l.Do(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(9)
+	if total != 512 {
+		t.Fatalf("total = %d, want 512", total)
+	}
+	if peak > limit+1 {
+		t.Fatalf("peak concurrency %d exceeds limit+1 = %d", peak, limit+1)
+	}
+}
+
+// TestPoolEachEmptyAndNested: Each with zero items is a no-op, and Each
+// nested inside a worker (the engine's batch fan-out running inside
+// another batch) completes like nested For.
+func TestPoolEachEmptyAndNested(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Each(0, func(i int) { t.Error("Each(0) invoked fn") })
+	var n int32
+	p.Each(4, func(i int) {
+		p.Each(3, func(j int) { atomic.AddInt32(&n, 1) })
+	})
+	if n != 12 {
+		t.Fatalf("nested Each covered %d of 12", n)
+	}
+}

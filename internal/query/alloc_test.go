@@ -10,6 +10,7 @@ package query
 import (
 	"context"
 	"testing"
+	"time"
 
 	"semilocal/internal/core"
 	"semilocal/internal/obs"
@@ -82,5 +83,59 @@ func TestAcquireHitPathAllocParity(t *testing.T) {
 	on := measure(obs.New())
 	if on != off {
 		t.Fatalf("traced hit path allocates %v per run vs %v untraced; tracing must add 0", on, off)
+	}
+}
+
+// TestSolveInjectedDisabledAddsZeroAllocs: a nil injector must leave
+// the solve path's allocation profile untouched — consulting disabled
+// chaos is a nil check, never a heap object.
+func TestSolveInjectedDisabledAddsZeroAllocs(t *testing.T) {
+	a, b := []byte("abcabcabcabcabcabcabcabc"), []byte("cbacbacbacbacbacba")
+	cfg := core.Config{Algorithm: core.AntidiagBranchless}
+	baseline := testing.AllocsPerRun(200, func() {
+		if _, err := core.Solve(a, b, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	disabled := testing.AllocsPerRun(200, func() {
+		if _, err := core.SolveInjected(a, b, cfg, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if disabled != baseline {
+		t.Fatalf("disabled chaos changed Solve allocs: %v -> %v", baseline, disabled)
+	}
+}
+
+// TestHardenedBatchHotPathAllocParity: turning the hardening knobs on —
+// admission control, a retry policy, a degradation threshold — must not
+// add a single allocation to the fault-free cached-query path of
+// BatchSolve. The resilience machinery is branches and atomics; only
+// actual faults pay.
+func TestHardenedBatchHotPathAllocParity(t *testing.T) {
+	a, b := []byte("gattacagattaca"), []byte("tacatacatacata")
+	ctx := context.Background()
+
+	measure := func(opts Options) float64 {
+		e := NewEngine(opts)
+		defer e.Close()
+		reqs := []Request{{A: a, B: b, Kind: Score}}
+		if res := e.BatchSolve(ctx, reqs); res[0].Err != nil { // warm the cache
+			t.Fatal(res[0].Err)
+		}
+		return testing.AllocsPerRun(1000, func() {
+			if res := e.BatchSolve(ctx, reqs); res[0].Err != nil {
+				t.Fatal(res[0].Err)
+			}
+		})
+	}
+	plain := measure(Options{})
+	hardened := measure(Options{
+		MaxQueue:     64,
+		Retry:        RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond},
+		DegradeBelow: time.Microsecond,
+	})
+	if hardened != plain {
+		t.Fatalf("hardened fault-free batch allocates %v per run vs %v plain; knobs must add 0", hardened, plain)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"time"
 
+	"semilocal/internal/chaos"
 	"semilocal/internal/core"
 	"semilocal/internal/obs"
 	"semilocal/internal/stats"
@@ -58,6 +59,7 @@ type cache struct {
 	shards []*shard
 	solve  func(a, b []byte, cfg core.Config) (*core.Kernel, error)
 	rec    *obs.Recorder
+	inj    *chaos.Injector
 
 	hits      *stats.Counter // request served by a resident session
 	misses    *stats.Counter // request started a solve
@@ -66,7 +68,7 @@ type cache struct {
 	bytes     *stats.Counter // resident session bytes (gauge)
 }
 
-func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder) *cache {
+func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder, inj *chaos.Injector) *cache {
 	if shards < 1 {
 		shards = 1
 	}
@@ -79,15 +81,16 @@ func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder) *cac
 		shards:    make([]*shard, shards),
 		solve:     core.Solve,
 		rec:       rec,
+		inj:       inj,
 		hits:      reg.Counter("cache_hits"),
 		misses:    reg.Counter("cache_misses"),
 		deduped:   reg.Counter("cache_deduped"),
 		evictions: reg.Counter("cache_evictions"),
 		bytes:     reg.Counter("cache_bytes"),
 	}
-	if rec != nil {
+	if rec != nil || inj != nil {
 		c.solve = func(a, b []byte, cfg core.Config) (*core.Kernel, error) {
-			return core.SolveObserved(a, b, cfg, rec)
+			return core.SolveInjected(a, b, cfg, rec, inj)
 		}
 	}
 	per := (capacity + shards - 1) / shards
@@ -114,6 +117,18 @@ func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder) *cac
 func (c *cache) acquire(ctx context.Context, key cacheKey) (*Session, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if d := c.inj.At(chaos.PointAcquire); d.Fault != chaos.FaultNone {
+		switch d.Fault {
+		case chaos.FaultLatency:
+			time.Sleep(d.Latency)
+		case chaos.FaultCancel:
+			// Behave exactly as if the caller's context had been
+			// cancelled on entry: the typed error, no partial work.
+			return nil, context.Canceled
+		case chaos.FaultEvict:
+			c.evictAll(cacheKey{}, false)
+		}
 	}
 	// cache_hit / cache_miss histograms split acquire latency by
 	// outcome: a hit is a map lookup under the shard lock, a miss (or a
@@ -171,6 +186,16 @@ func (c *cache) runFlight(sh *shard, key cacheKey, fl *flight) {
 		fl.err = err
 	}
 
+	storm := false
+	if d := c.inj.At(chaos.PointPublish); d.Fault != chaos.FaultNone {
+		switch d.Fault {
+		case chaos.FaultLatency:
+			time.Sleep(d.Latency)
+		case chaos.FaultEvict:
+			storm = true
+		}
+	}
+
 	sh.mu.Lock()
 	delete(sh.inflight, key)
 	if fl.sess != nil {
@@ -186,7 +211,35 @@ func (c *cache) runFlight(sh *shard, key cacheKey, fl *flight) {
 		}
 	}
 	sh.mu.Unlock()
+	if storm {
+		// Eviction storm: flush every other resident session, keeping
+		// only the one just published — the worst-case cold cache a
+		// chaos run forces right after paying for a solve.
+		c.evictAll(key, true)
+	}
 	close(fl.done)
+}
+
+// evictAll drops every resident session (keeping only `keep` when
+// haveKeep is set), counting each drop as an eviction. Shard locks are
+// taken one at a time, never nested. Evicted sessions stay valid for
+// holders; only future acquires re-solve.
+func (c *cache) evictAll(keep cacheKey, haveKeep bool) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if !haveKeep || e.key != keep {
+				sh.lru.Remove(el)
+				delete(sh.resident, e.key)
+				c.bytes.Add(-int64(e.sess.MemoryBytes()))
+				c.evictions.Inc()
+			}
+			el = next
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // len reports the number of resident sessions across all shards.

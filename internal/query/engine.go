@@ -7,11 +7,44 @@ import (
 	"sync/atomic"
 	"time"
 
+	"semilocal/internal/chaos"
 	"semilocal/internal/core"
 	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 	"semilocal/internal/stats"
 )
+
+// RetryPolicy configures automatic re-solving of transient failures
+// (see IsTransient). The zero policy disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of solve attempts per request
+	// (first try included); values ≤ 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; it doubles per
+	// attempt (exponential backoff). Zero retries immediately.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling; 0 means uncapped.
+	MaxBackoff time.Duration
+}
+
+// enabled reports whether the policy retries anything.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// backoffAfter returns the wait before attempt number `attempt`
+// (2-based: the wait before the first retry is backoffAfter(2)).
+func (p RetryPolicy) backoffAfter(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
 
 // Options configures an Engine. The zero value is usable: sequential
 // batches, the default solve configuration, and a small cache.
@@ -38,6 +71,31 @@ type Options struct {
 	// default) disables tracing entirely: the hot paths run the
 	// uninstrumented code with zero extra allocations.
 	Obs *obs.Recorder
+
+	// MaxQueue bounds the number of batch requests admitted and not yet
+	// answered, across all concurrent BatchSolve calls. Requests
+	// arriving past the bound are shed immediately with ErrShed (the
+	// 429 of this engine) instead of queuing without bound. 0 disables
+	// admission control.
+	MaxQueue int
+	// Retry re-issues solves that failed transiently (IsTransient),
+	// with exponential backoff between attempts. The zero policy
+	// disables retries; errors surface on the first failure.
+	Retry RetryPolicy
+	// Deadline is the default per-request timeout applied when a
+	// Request carries no Timeout of its own; 0 applies none.
+	Deadline time.Duration
+	// DegradeBelow turns on graceful degradation: when a request's
+	// remaining deadline is below this (or a chaos worker stall hit the
+	// request), an uncached solve runs the sequential variant of its
+	// configuration instead of the parallel one — predictable latency
+	// beats peak throughput near a deadline. 0 disables the fallback
+	// (stall-triggered degradation stays on whenever chaos is active).
+	DegradeBelow time.Duration
+	// Chaos injects deterministic faults into the serving path (see
+	// internal/chaos). nil — the production configuration — disables
+	// injection entirely at zero cost.
+	Chaos *chaos.Injector
 }
 
 // Defaults for Options zero values.
@@ -56,10 +114,21 @@ type Engine struct {
 	cfg    core.Config
 	reg    *stats.Registry
 	rec    *obs.Recorder
+	inj    *chaos.Injector
 	closed atomic.Bool
+
+	// Hardening knobs (see Options).
+	maxQueue     int
+	retry        RetryPolicy
+	deadline     time.Duration
+	degradeBelow time.Duration
+	pending      atomic.Int64 // admitted, not yet answered (≤ maxQueue)
 
 	requests *stats.Counter // BatchSolve requests accepted
 	inflight *stats.Counter // requests currently being processed (gauge)
+	sheds    *stats.Counter // requests rejected by admission control
+	retried  *stats.Counter // extra solve attempts after transient failures
+	degraded *stats.Counter // requests downgraded to the sequential variant
 }
 
 // NewEngine builds an engine; the caller owns it and must Close it.
@@ -77,13 +146,21 @@ func NewEngine(opts Options) *Engine {
 		maxKernels = DefaultMaxKernels
 	}
 	return &Engine{
-		cache:    newCache(shards, maxKernels, reg, opts.Obs),
-		pool:     parallel.NewPool(opts.Workers),
-		cfg:      opts.Config,
-		reg:      reg,
-		rec:      opts.Obs,
-		requests: reg.Counter("requests"),
-		inflight: reg.Counter("requests_inflight"),
+		cache:        newCache(shards, maxKernels, reg, opts.Obs, opts.Chaos),
+		pool:         parallel.NewPool(opts.Workers),
+		cfg:          opts.Config,
+		reg:          reg,
+		rec:          opts.Obs,
+		inj:          opts.Chaos,
+		maxQueue:     opts.MaxQueue,
+		retry:        opts.Retry,
+		deadline:     opts.Deadline,
+		degradeBelow: opts.DegradeBelow,
+		requests:     reg.Counter("requests"),
+		inflight:     reg.Counter("requests_inflight"),
+		sheds:        reg.Counter("requests_shed"),
+		retried:      reg.Counter("requests_retried"),
+		degraded:     reg.Counter("requests_degraded"),
 	}
 }
 
@@ -102,7 +179,8 @@ func (e *Engine) Close() {
 
 // Stats returns a snapshot of the engine's counters: cache_hits,
 // cache_misses, cache_deduped, cache_evictions, cache_bytes, requests,
-// requests_inflight.
+// requests_inflight, requests_shed, requests_retried,
+// requests_degraded.
 func (e *Engine) Stats() map[string]int64 { return e.reg.Snapshot() }
 
 // StatsLine renders the counters as a stable one-line summary.
@@ -123,7 +201,7 @@ func (e *Engine) Acquire(ctx context.Context, a, b []byte) (*Session, error) {
 // participates in the cache key.
 func (e *Engine) AcquireConfig(ctx context.Context, a, b []byte, cfg core.Config) (*Session, error) {
 	if e.closed.Load() {
-		return nil, fmt.Errorf("query: engine is closed")
+		return nil, ErrEngineClosed
 	}
 	return e.cache.acquire(ctx, cacheKey{a: string(a), b: string(b), cfg: cfg})
 }
@@ -167,21 +245,36 @@ type Result struct {
 // results come back in request order. ctx cancellation or a request
 // Timeout abandons waiting requests with their context error — an
 // already-running solve still completes and is cached.
+//
+// With Options.MaxQueue set, admission happens at arrival: the batch
+// reserves queue slots for as many of its requests as fit, and the
+// tail of the batch past the bound is answered immediately with
+// ErrShed. Slots free as requests finish, so concurrent batches drain
+// into capacity instead of piling up behind a wedged pool.
 func (e *Engine) BatchSolve(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if e.closed.Load() {
-		err := fmt.Errorf("query: engine is closed")
 		for i := range out {
-			out[i].Err = err
+			out[i].Err = ErrEngineClosed
 		}
 		return out
 	}
 	e.requests.Add(int64(len(reqs)))
+	admitted := e.admit(len(reqs))
+	if admitted < len(reqs) {
+		shed := int64(len(reqs) - admitted)
+		e.sheds.Add(shed)
+		e.rec.Add(obs.CounterSheds, shed)
+		for i := admitted; i < len(reqs); i++ {
+			out[i].Err = ErrShed
+		}
+	}
 	if !e.rec.Enabled() {
-		e.pool.Each(len(reqs), func(i int) {
+		e.pool.Each(admitted, func(i int) {
 			e.inflight.Inc()
-			out[i] = e.one(ctx, reqs[i])
+			out[i] = e.one(ctx, reqs[i], e.workerFault())
 			e.inflight.Add(-1)
+			e.release()
 		})
 		return out
 	}
@@ -192,23 +285,77 @@ func (e *Engine) BatchSolve(ctx context.Context, reqs []Request) []Result {
 	// engine attribute samples to the batch-solve operation and query
 	// kind.
 	submit := time.Now()
-	e.pool.Each(len(reqs), func(i int) {
+	e.pool.Each(admitted, func(i int) {
 		e.inflight.Inc()
 		e.rec.Observe(obs.StageQueueWait, time.Since(submit))
+		stalled := e.workerFault()
 		pprof.Do(ctx, pprof.Labels("op", "batch_solve", "kind", reqs[i].Kind.String()), func(ctx context.Context) {
-			out[i] = e.one(ctx, reqs[i])
+			out[i] = e.one(ctx, reqs[i], stalled)
 		})
 		e.rec.Observe(obs.StageRequest, time.Since(submit))
 		e.inflight.Add(-1)
+		e.release()
 	})
 	return out
 }
 
-// one answers a single request.
-func (e *Engine) one(ctx context.Context, req Request) Result {
-	if req.Timeout > 0 {
+// admit reserves queue slots for up to n requests and returns how many
+// were admitted; the remainder must be shed. Without a queue bound all
+// n are admitted through a single branch — no atomics touched.
+func (e *Engine) admit(n int) int {
+	if e.maxQueue <= 0 {
+		return n
+	}
+	for {
+		cur := e.pending.Load()
+		free := int64(e.maxQueue) - cur
+		if free <= 0 {
+			return 0
+		}
+		take := int64(n)
+		if take > free {
+			take = free
+		}
+		if e.pending.CompareAndSwap(cur, cur+take) {
+			return int(take)
+		}
+	}
+}
+
+// release frees one admitted request's queue slot.
+func (e *Engine) release() {
+	if e.maxQueue > 0 {
+		e.pending.Add(-1)
+	}
+}
+
+// workerFault consults the chaos worker point as a batch worker picks a
+// request up. An injected stall parks the worker for the configured
+// latency and reports true, which forces the request onto the degraded
+// (sequential) path — a stalled pool must not also be asked for peak
+// parallel throughput.
+func (e *Engine) workerFault() bool {
+	d := e.inj.At(chaos.PointWorker)
+	switch d.Fault {
+	case chaos.FaultStall:
+		time.Sleep(d.Latency)
+		return true
+	case chaos.FaultLatency:
+		time.Sleep(d.Latency)
+	}
+	return false
+}
+
+// one answers a single request. stalled reports that a chaos worker
+// stall already delayed this request.
+func (e *Engine) one(ctx context.Context, req Request, stalled bool) Result {
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = e.deadline
+	}
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	cfg := e.cfg
@@ -218,14 +365,103 @@ func (e *Engine) one(ctx context.Context, req Request) Result {
 	if err := req.Kind.validate(req.From, req.To, req.Width, len(req.A), len(req.B)); err != nil {
 		return Result{Err: err}
 	}
-	sess, err := e.AcquireConfig(ctx, req.A, req.B, cfg)
+	// Graceful degradation: a near deadline or an injected pool stall
+	// swaps an uncached parallel solve for the sequential variant —
+	// the answer is bit-identical (every algorithm produces the same
+	// kernel), only the solve strategy changes.
+	if stalled || e.deadlineNear(ctx) {
+		if seq, changed := degradeConfig(cfg); changed {
+			cfg = seq
+			e.degraded.Inc()
+			e.rec.Add(obs.CounterDegradations, 1)
+		}
+	}
+	sess, err := e.acquireRetry(ctx, req.A, req.B, cfg)
 	if err != nil {
+		return Result{Err: err}
+	}
+	if d := e.inj.At(chaos.PointQuery); d.Fault != chaos.FaultNone {
+		switch d.Fault {
+		case chaos.FaultLatency:
+			time.Sleep(d.Latency)
+		case chaos.FaultCancel:
+			return Result{Err: context.Canceled}
+		}
+	}
+	// Deadline enforcement: a request whose deadline expired while it
+	// waited for the solve reports the typed context error instead of
+	// answering late.
+	if err := ctx.Err(); err != nil {
 		return Result{Err: err}
 	}
 	qsp := e.rec.Start(obs.StageQuery)
 	res := answer(sess, req)
 	qsp.End()
 	return res
+}
+
+// deadlineNear reports whether ctx's deadline is within the
+// degradation threshold. With the fallback disabled it costs one
+// branch and never reads the clock.
+func (e *Engine) deadlineNear(ctx context.Context) bool {
+	if e.degradeBelow <= 0 {
+		return false
+	}
+	dl, ok := ctx.Deadline()
+	return ok && time.Until(dl) < e.degradeBelow
+}
+
+// degradeConfig maps a solve configuration to its sequential fallback,
+// reporting whether anything changed: worker parallelism drops to 1,
+// and the multi-phase parallel algorithms (whose sequential runs pay
+// pure overhead) fall back to branchless anti-diagonal combing — the
+// paper's strongest sequential kernel. Degraded configs are ordinary
+// cache keys: a degraded solve is cached and reused like any other.
+func degradeConfig(cfg core.Config) (core.Config, bool) {
+	seq := cfg
+	seq.Workers = 0
+	switch cfg.Algorithm {
+	case core.LoadBalanced, core.Hybrid, core.GridReduction:
+		seq = core.Config{Algorithm: core.AntidiagBranchless}
+	}
+	if seq == cfg {
+		return cfg, false
+	}
+	return seq, true
+}
+
+// acquireRetry is AcquireConfig under the engine's retry policy:
+// transient solve failures (IsTransient — injected faults today,
+// retryable transport errors tomorrow) are re-attempted with
+// exponential backoff until the policy or the request's deadline runs
+// out. Non-transient errors and successes return immediately, so the
+// fault-free path costs one extra branch.
+func (e *Engine) acquireRetry(ctx context.Context, a, b []byte, cfg core.Config) (*Session, error) {
+	sess, err := e.AcquireConfig(ctx, a, b, cfg)
+	if err == nil || !e.retry.enabled() || !IsTransient(err) {
+		return sess, err
+	}
+	for attempt := 2; attempt <= e.retry.MaxAttempts; attempt++ {
+		if wait := e.retry.backoffAfter(attempt); wait > 0 {
+			bsp := e.rec.Start(obs.StageBackoff)
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				bsp.End()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+			bsp.End()
+		}
+		e.retried.Inc()
+		e.rec.Add(obs.CounterRetries, 1)
+		sess, err = e.AcquireConfig(ctx, a, b, cfg)
+		if err == nil || !IsTransient(err) {
+			return sess, err
+		}
+	}
+	return nil, fmt.Errorf("query: %d solve attempts failed: %w", e.retry.MaxAttempts, err)
 }
 
 // answer runs one validated query against its prepared session; the

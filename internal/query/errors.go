@@ -1,0 +1,27 @@
+package query
+
+import "errors"
+
+// ErrShed is the typed 429-style rejection of admission control: the
+// engine's bounded queue (Options.MaxQueue) was full when the request
+// arrived, so it was rejected immediately instead of queuing. Shed
+// requests did no work; the caller may retry later or against another
+// replica. Match with errors.Is.
+var ErrShed = errors.New("query: request shed: engine queue is full")
+
+// ErrEngineClosed is returned by every entry point of a closed engine.
+var ErrEngineClosed = errors.New("query: engine is closed")
+
+// transienter is the contract transient errors implement; the chaos
+// package's injected errors do, and future transport layers can mark
+// their own retryable failures the same way.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err (or anything it wraps) is a transient
+// failure worth retrying under the engine's RetryPolicy. Validation
+// errors, unknown algorithms, oversized inputs, context cancellations
+// and shed rejections are not transient.
+func IsTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}

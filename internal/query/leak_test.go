@@ -2,11 +2,13 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
 	"time"
 
+	"semilocal/internal/chaos"
 	"semilocal/internal/core"
 	"semilocal/internal/obs"
 )
@@ -58,6 +60,81 @@ func TestShutdownNoLeaks(t *testing.T) {
 			n := runtime.Stack(buf, true)
 			t.Fatalf("leak after shutdown: goroutines %d (baseline %d), open spans %d\n%s",
 				now, base, open, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAbandonedFlightReapedAndCached is the regression test for the
+// detached-solver audit: when every waiter of an in-flight solve
+// cancels its context before the solve finishes, the solver goroutine
+// must still run to completion, publish its session into the cache
+// (preserving amortization: the next request is a hit, not a
+// re-solve), and exit — the goroutine count returns to baseline.
+func TestAbandonedFlightReapedAndCached(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	// An injected solve-start latency guarantees the solve outlives
+	// every waiter's 2ms budget without any scheduling luck.
+	inj, err := chaos.New(chaos.Config{Seed: 31, Rules: []chaos.Rule{
+		{Point: chaos.PointSolveStart, Fault: chaos.FaultLatency, PerMille: 1000, Latency: 30 * time.Millisecond},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Options{Workers: 3, Chaos: inj})
+
+	a, b := []byte("abandoned-flight-a"), []byte("abandoned-flight-b")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	reqs := []Request{ // three waiters join one flight, all abandon it
+		{A: a, B: b, Kind: Score},
+		{A: a, B: b, Kind: Score},
+		{A: a, B: b, Kind: Score},
+	}
+	for i, r := range e.BatchSolve(ctx, reqs) {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Fatalf("request %d: err = %v, want DeadlineExceeded", i, r.Err)
+		}
+	}
+	cancel()
+
+	// The abandoned solve still completes and is cached.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.CachedKernels() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned flight's result never reached the cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Exactly one solve started; later waiters either joined the flight
+	// or failed fast on the expired context — never a second solve.
+	if got := e.Stats()["cache_misses"]; got != 1 {
+		t.Fatalf("misses = %d, want 1 (singleflight held)", got)
+	}
+	// A later request with a live context is a pure hit: the abandoned
+	// work was not wasted.
+	res := e.BatchSolve(context.Background(), reqs[:1])
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if got := e.Stats()["cache_misses"]; got != 1 {
+		t.Fatalf("follow-up request re-solved: misses = %d, want 1", got)
+	}
+	e.Close()
+
+	// And the solver goroutine is gone.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("solver goroutine leaked: %d goroutines (baseline %d)\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

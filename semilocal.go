@@ -24,6 +24,7 @@ package semilocal
 
 import (
 	"semilocal/internal/bitlcs"
+	"semilocal/internal/chaos"
 	"semilocal/internal/core"
 	"semilocal/internal/editdist"
 	"semilocal/internal/lcs"
@@ -117,7 +118,15 @@ const (
 	CounterGridTiles    = obs.CounterGridTiles
 	CounterBitBlocks    = obs.CounterBitBlocks
 	CounterOpenSpans    = obs.CounterOpenSpans
+	CounterRetries      = obs.CounterRetries
+	CounterSheds        = obs.CounterSheds
+	CounterDegradations = obs.CounterDegradations
+	CounterFaults       = obs.CounterFaultsInjected
 )
+
+// StageBackoff times the waits between retry attempts of transiently
+// failed solves (see RetryPolicy).
+const StageBackoff = obs.StageBackoff
 
 // NewStageRecorder returns an enabled recorder. Pass it to
 // SolveObserved or EngineOptions.Obs.
@@ -199,6 +208,52 @@ func ParseQueryKind(s string) (QueryKind, error) {
 // NewEngine builds a batch query engine; the caller must Close it.
 func NewEngine(opts EngineOptions) *Engine {
 	return query.NewEngine(opts)
+}
+
+// Hardened serving: EngineOptions carries per-request deadlines
+// (Deadline), retry of transient solve failures with exponential
+// backoff (Retry), admission control that sheds load past a queue
+// bound (MaxQueue → ErrShed), and graceful degradation to the
+// sequential kernel algorithm when a deadline is near (DegradeBelow).
+// The fault-injection harness behind the chaos tests is exported too,
+// so downstream services can run the same drills: a ChaosInjector
+// built from seeded deterministic rules threads through
+// EngineOptions.Chaos; nil disables injection at zero cost.
+
+// RetryPolicy configures automatic re-solving of transient failures.
+// The zero policy disables retries.
+type RetryPolicy = query.RetryPolicy
+
+// ErrShed is returned for requests rejected by the engine's admission
+// control (EngineOptions.MaxQueue) — the 429 of this engine.
+var ErrShed = query.ErrShed
+
+// ErrInjectedFault matches (errors.Is) every error produced by fault
+// injection; injected errors are transient by construction.
+var ErrInjectedFault = chaos.ErrInjected
+
+// IsTransient reports whether err is worth retrying (it carries a
+// `Transient() bool` method reporting true anywhere in its chain).
+func IsTransient(err error) bool { return query.IsTransient(err) }
+
+// ChaosInjector decides, deterministically from a seed, which arrivals
+// at which serving-path points receive which injected faults.
+type ChaosInjector = chaos.Injector
+
+// ChaosConfig and ChaosRule configure NewChaosInjector.
+type ChaosConfig = chaos.Config
+type ChaosRule = chaos.Rule
+
+// NewChaosInjector validates cfg's rules and builds an injector.
+func NewChaosInjector(cfg ChaosConfig) (*ChaosInjector, error) {
+	return chaos.New(cfg)
+}
+
+// ParseChaosSpec parses the CLI rule syntax
+// `point:fault:permille[:latency[:maxcount]]`, comma-separated —
+// e.g. "solve:error:200:0:3,worker:stall:100:5ms".
+func ParseChaosSpec(spec string) ([]ChaosRule, error) {
+	return chaos.ParseSpec(spec)
 }
 
 // NewSession preprocesses a solved kernel for serving-style queries
