@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race test-race check check-obs check-chaos bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
+.PHONY: all build test race test-race check check-obs check-chaos check-stream bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -50,6 +50,18 @@ check-chaos:
 	go test -race ./internal/chaos ./internal/query ./internal/parallel ./internal/core ./cmd/semilocal
 	go test -run 'ZeroAllocs|AllocParity' ./internal/query ./internal/core
 
+# Streaming lane: the incremental-kernel subsystem end to end under
+# the race detector — the differential bit-identity suite against
+# from-scratch solves, the concurrent query-during-append soak, the
+# chaos metamorphic cases, the steady-ant workspace, the engine
+# wrapper's deadline/retry semantics, and the CLI -stream goldens. The
+# zero-alloc guards for the append hot path (leaf merges in the
+# retained arena) only compile without -race, so they run in a second,
+# race-free pass.
+check-stream:
+	go test -race ./internal/stream ./internal/steadyant ./internal/query ./cmd/semilocal
+	go test -run 'ZeroAllocs|Freelist|AllocParity' ./internal/stream ./internal/steadyant ./internal/query
+
 bench:
 	go test -bench=. -benchmem ./...
 
@@ -83,6 +95,7 @@ fuzz:
 	go test -fuzz FuzzDifferential -fuzztime 30s ./internal/core
 	go test -fuzz FuzzEditWindows -fuzztime 30s ./internal/editdist
 	go test -fuzz FuzzSessionQueries -fuzztime 30s ./internal/query
+	go test -fuzz FuzzStreamAppend -fuzztime 30s ./internal/stream
 
 # Ten-second smoke pass per target — quick enough for CI, long enough to
 # mutate beyond the checked-in seed corpora under testdata/fuzz.
@@ -93,3 +106,4 @@ fuzz-smoke:
 	go test -fuzz FuzzDifferential -fuzztime 10s ./internal/core
 	go test -fuzz FuzzEditWindows -fuzztime 10s ./internal/editdist
 	go test -fuzz FuzzSessionQueries -fuzztime 10s ./internal/query
+	go test -fuzz FuzzStreamAppend -fuzztime 10s ./internal/stream

@@ -30,15 +30,34 @@
 //	ABCABBA CBABAC string-substring 1 5
 //	ABCABBA CBABAC windows 3
 //
-// Serving hardening (all -serve-batch only): -deadline bounds each
-// request, -retries with -retry-backoff re-attempts transient solve
-// failures, -max-queue sheds requests past a queue bound, and
-// -degrade-below falls back to the sequential algorithm when a
-// request's remaining deadline is short. -chaos injects deterministic
-// faults (seeded by -chaos-seed) into the serving path for drills:
+// The -stream mode maintains the kernel of a growing, sliding window
+// of text against one fixed pattern (given by -a-text or a pattern
+// file) and answers queries online: each appended chunk costs one
+// small leaf solve plus O(log(n/chunk)) amortized steady-ant
+// compositions, never a from-scratch recomb. The op-script file holds
+// one operation per line — `append <chunk>`, `slide <k>`, or a query
+// kind with its arguments against the current window:
+//
+//	append GATT
+//	score
+//	append ACAGATTACA
+//	windows 7
+//	slide 1
+//	string-substring 2 9
+//
+//	semilocal -a-text GATTACA -stream ops.txt
+//
+// Serving hardening (-serve-batch and -stream): -deadline bounds each
+// request or stream mutation, -retries with -retry-backoff re-attempts
+// transient failures, -max-queue sheds requests past a queue bound
+// (batch only), and -degrade-below falls back to the sequential
+// algorithm when a request's remaining deadline is short. -chaos
+// injects deterministic faults (seeded by -chaos-seed) into the
+// serving path for drills:
 //
 //	semilocal -serve-batch queries.txt -max-queue 3
 //	semilocal -serve-batch queries.txt -chaos "solve:error:1000:0:2" -retries 3
+//	semilocal -a-text GATTACA -stream ops.txt -chaos "stream:error:1000:0:2" -retries 3
 //
 // Observability: -trace-stages appends a per-solve stage breakdown
 // table (where the wall time went: combing passes, braid composition,
@@ -100,6 +119,7 @@ func run(args []string, out io.Writer) error {
 	fasta := fs.Bool("fasta", false, "treat input files as FASTA; the first record is used")
 	edit := fs.Bool("edit", false, "measure unit-cost edit distance instead of LCS score")
 	batch := fs.String("serve-batch", "", "answer a whole file of requests through the batch query engine")
+	streamFile := fs.String("stream", "", "answer an op-script file (append/slide/query lines) through a streaming session against the pattern")
 	traceStages := fs.Bool("trace-stages", false, "append a per-solve stage breakdown table")
 	metricsAddr := fs.String("metrics", "", "with -serve-batch: serve /metrics, /debug/vars and /debug/pprof on this address ('-' prints one exposition to stdout)")
 	maxQueue := fs.Int("max-queue", 0, "with -serve-batch: shed requests past this queue bound (0 = unbounded)")
@@ -116,7 +136,10 @@ func run(args []string, out io.Writer) error {
 	if !okAlg {
 		return fmt.Errorf("unknown algorithm %q (want one of %s)", *alg, algorithmNames())
 	}
-	if *batch != "" {
+	if *batch != "" && *streamFile != "" {
+		return fmt.Errorf("-serve-batch and -stream are mutually exclusive")
+	}
+	if *batch != "" || *streamFile != "" {
 		opts := batchOptions{
 			algorithm:    algorithm,
 			workers:      *workers,
@@ -136,7 +159,20 @@ func run(args []string, out io.Writer) error {
 			opts.chaosRules = rules
 			opts.chaosSeed = *chaosSeed
 		}
-		return runBatch(*batch, opts, out)
+		if *batch != "" {
+			return runBatch(*batch, opts, out)
+		}
+		if *edit {
+			return fmt.Errorf("-edit is not supported with -stream")
+		}
+		if *maxQueue != 0 {
+			return fmt.Errorf("-max-queue applies to -serve-batch only")
+		}
+		pattern, err := loadPattern(fs.Args(), *aText, *bText, *fasta)
+		if err != nil {
+			return err
+		}
+		return runStream(*streamFile, pattern, opts, out)
 	}
 	for name, set := range map[string]bool{
 		"-metrics":       *metricsAddr != "",
@@ -148,7 +184,7 @@ func run(args []string, out io.Writer) error {
 		"-chaos":         *chaosSpec != "",
 	} {
 		if set {
-			return fmt.Errorf("%s requires -serve-batch", name)
+			return fmt.Errorf("%s requires -serve-batch or -stream", name)
 		}
 	}
 
@@ -436,18 +472,219 @@ func runBatch(path string, opts batchOptions, out io.Writer) error {
 	}
 	results := engine.BatchSolve(context.Background(), reqs)
 	for i, res := range results {
-		switch {
-		case res.Err != nil:
-			fmt.Fprintf(out, "#%d %s: error: %v\n", i, reqs[i].Kind, res.Err)
-		case reqs[i].Kind == semilocal.QueryWindows:
-			fmt.Fprintf(out, "#%d %s(%d) =%s\n", i, reqs[i].Kind, reqs[i].Width, joinInts(res.Windows))
-		case reqs[i].Kind == semilocal.QueryBestWindow:
-			fmt.Fprintf(out, "#%d %s(%d) = b[%d:%d) score %d\n",
-				i, reqs[i].Kind, reqs[i].Width, res.From, res.From+reqs[i].Width, res.Score)
-		default:
-			fmt.Fprintf(out, "#%d %s = %d\n", i, reqs[i].Kind, res.Score)
+		printResult(out, i, reqs[i].Kind, reqs[i].Width, res)
+	}
+	fmt.Fprintf(out, "# engine: %s\n", engine.StatsLine())
+	if opts.traceStages {
+		rec.Snapshot().WriteBreakdown(out)
+	}
+	if opts.metricsAddr == "-" {
+		writeMetricsTo(out, rec, engine)
+	}
+	return nil
+}
+
+// printResult renders one answered request as a numbered output line
+// (shared by the -serve-batch and -stream modes).
+func printResult(out io.Writer, i int, kind semilocal.QueryKind, width int, res semilocal.BatchResult) {
+	switch {
+	case res.Err != nil:
+		fmt.Fprintf(out, "#%d %s: error: %v\n", i, kind, res.Err)
+	case kind == semilocal.QueryWindows:
+		fmt.Fprintf(out, "#%d %s(%d) =%s\n", i, kind, width, joinInts(res.Windows))
+	case kind == semilocal.QueryBestWindow:
+		fmt.Fprintf(out, "#%d %s(%d) = b[%d:%d) score %d\n",
+			i, kind, width, res.From, res.From+width, res.Score)
+	default:
+		fmt.Fprintf(out, "#%d %s = %d\n", i, kind, res.Score)
+	}
+}
+
+// loadPattern resolves the -stream mode's fixed pattern: -a-text, or a
+// single pattern file (honoring -fasta). The window side has no static
+// input — it arrives through the op script — so -b-text is rejected.
+func loadPattern(args []string, aText, bText string, fasta bool) ([]byte, error) {
+	if bText != "" {
+		return nil, fmt.Errorf("-b-text is meaningless with -stream (the text arrives via append ops)")
+	}
+	if aText != "" {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("unexpected arguments with -stream: %v", args)
+		}
+		return []byte(aText), nil
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("-stream wants the pattern as -a-text or exactly one pattern file")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if fasta {
+		gs, err := dataset.ReadFASTA(strings.NewReader(string(data)))
+		if err != nil {
+			return nil, err
+		}
+		if len(gs) == 0 {
+			return nil, fmt.Errorf("%s: no FASTA records", args[0])
+		}
+		return gs[0].Seq, nil
+	}
+	return []byte(strings.TrimRight(string(data), "\n")), nil
+}
+
+// streamOp is one parsed line of a -stream op script.
+type streamOp struct {
+	append  []byte // non-nil: append this chunk
+	slide   int    // used when isSlide
+	isSlide bool
+	req     semilocal.BatchRequest // otherwise: a query against the window
+}
+
+// parseStreamLine turns one op-script line into a streamOp:
+// `append <chunk>`, `slide <k>`, or `<kind> [args]` with the query
+// kinds and argument counts of the batch format (minus the input pair,
+// which is the stream's pattern and current window).
+func parseStreamLine(line string) (streamOp, error) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "append":
+		if len(fields) != 2 {
+			return streamOp{}, fmt.Errorf("append wants exactly one whitespace-free chunk, got %q", line)
+		}
+		return streamOp{append: []byte(fields[1])}, nil
+	case "slide":
+		if len(fields) != 2 {
+			return streamOp{}, fmt.Errorf("slide wants one chunk count, got %q", line)
+		}
+		k, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return streamOp{}, err
+		}
+		return streamOp{slide: k, isSlide: true}, nil
+	}
+	kind, err := semilocal.ParseQueryKind(fields[0])
+	if err != nil {
+		return streamOp{}, err
+	}
+	req := semilocal.BatchRequest{Kind: kind}
+	argv := fields[1:]
+	wantArgs := 2
+	if kind == semilocal.QueryScore {
+		wantArgs = 0
+	} else if kind == semilocal.QueryWindows || kind == semilocal.QueryBestWindow {
+		wantArgs = 1
+	}
+	if len(argv) != wantArgs {
+		return streamOp{}, fmt.Errorf("%s wants %d arguments, got %d", kind, wantArgs, len(argv))
+	}
+	nums := make([]int, len(argv))
+	for i, s := range argv {
+		if nums[i], err = strconv.Atoi(s); err != nil {
+			return streamOp{}, err
 		}
 	}
+	switch wantArgs {
+	case 1:
+		req.Width = nums[0]
+	case 2:
+		req.From, req.To = nums[0], nums[1]
+	}
+	return streamOp{req: req}, nil
+}
+
+// runStream replays an op script against one streaming session opened
+// through the engine, so mutations run under the engine's deadline and
+// retry policy and queries hit the per-generation session cache. Ops
+// run strictly in file order; a failed mutation prints its error and
+// leaves the window unchanged, so the remaining ops still answer
+// against a consistent generation.
+func runStream(path string, pattern []byte, opts batchOptions, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var ops []streamOp
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := parseStreamLine(line)
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", path, lineno, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	var rec *semilocal.StageRecorder
+	if opts.traceStages || opts.metricsAddr != "" {
+		rec = semilocal.NewStageRecorder()
+	}
+	var inj *semilocal.ChaosInjector
+	if len(opts.chaosRules) > 0 {
+		var err error
+		inj, err = semilocal.NewChaosInjector(semilocal.ChaosConfig{
+			Seed: opts.chaosSeed, Rules: opts.chaosRules, Obs: rec,
+		})
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+	}
+	engine := semilocal.NewEngine(semilocal.EngineOptions{
+		Config: semilocal.Config{Algorithm: opts.algorithm, Workers: opts.workers},
+		Obs:    rec,
+		Retry: semilocal.RetryPolicy{
+			MaxAttempts: opts.retries,
+			BaseBackoff: opts.retryBackoff,
+		},
+		Deadline:     opts.deadline,
+		DegradeBelow: opts.degradeBelow,
+		Chaos:        inj,
+	})
+	defer engine.Close()
+	stream, err := engine.OpenStream(pattern)
+	if err != nil {
+		return err
+	}
+	if opts.metricsAddr != "" && opts.metricsAddr != "-" {
+		ms, err := startMetricsServer(opts.metricsAddr, rec, engine)
+		if err != nil {
+			return err
+		}
+		defer ms.stop()
+		fmt.Fprintf(out, "# metrics: serving on http://%s/metrics\n", ms.addr())
+	}
+	ctx := context.Background()
+	for i, op := range ops {
+		switch {
+		case op.append != nil:
+			if err := stream.Append(ctx, op.append); err != nil {
+				fmt.Fprintf(out, "#%d append: error: %v\n", i, err)
+				continue
+			}
+			fmt.Fprintf(out, "#%d append %d bytes: gen=%d window=%d leaves=%d\n",
+				i, len(op.append), stream.Generation(), stream.Window(), stream.Leaves())
+		case op.isSlide:
+			if err := stream.Slide(ctx, op.slide); err != nil {
+				fmt.Fprintf(out, "#%d slide: error: %v\n", i, err)
+				continue
+			}
+			fmt.Fprintf(out, "#%d slide %d: gen=%d window=%d leaves=%d\n",
+				i, op.slide, stream.Generation(), stream.Window(), stream.Leaves())
+		default:
+			printResult(out, i, op.req.Kind, op.req.Width, stream.Query(op.req))
+		}
+	}
+	fmt.Fprintf(out, "# stream: gen=%d leaves=%d window=%d compositions=%d\n",
+		stream.Generation(), stream.Leaves(), stream.Window(), stream.Compositions())
 	fmt.Fprintf(out, "# engine: %s\n", engine.StatsLine())
 	if opts.traceStages {
 		rec.Snapshot().WriteBreakdown(out)

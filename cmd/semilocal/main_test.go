@@ -143,6 +143,15 @@ func TestGolden(t *testing.T) {
 		// success; answers match the fault-free golden.
 		{"serve-batch-chaos", []string{"-serve-batch", filepath.Join("testdata", "batch.txt"),
 			"-chaos", "solve:error:1000:0:2", "-retries", "3", "-retry-backoff", "1ms"}},
+		// Streaming mode: the op script appends chunks, slides the
+		// window and answers queries online; every count (generation,
+		// window, leaves, compositions) is deterministic.
+		{"stream", []string{"-a-text", "GATTACA", "-stream", filepath.Join("testdata", "stream.txt")}},
+		// A stream fault rule with a 2-firing budget plus 3 attempts:
+		// the first append fails twice, retries to success, and every
+		// answer matches the fault-free stream golden.
+		{"stream-chaos", []string{"-a-text", "GATTACA", "-stream", filepath.Join("testdata", "stream.txt"),
+			"-chaos", "stream:error:1000:0:2", "-retries", "3", "-retry-backoff", "1ms"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -239,6 +248,66 @@ func TestHardeningFlagsRequireServeBatch(t *testing.T) {
 	// A malformed chaos spec is rejected before the batch file is read.
 	if err := run([]string{"-serve-batch", "/nonexistent", "-chaos", "bogus"}, io.Discard); err == nil {
 		t.Error("malformed -chaos spec accepted")
+	}
+}
+
+// TestStreamModeErrors covers the -stream mode's usage and script
+// error paths.
+func TestStreamModeErrors(t *testing.T) {
+	writeScript := func(content string) string {
+		path := filepath.Join(t.TempDir(), "ops.txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	ok := writeScript("append AB\nscore\n")
+	cases := map[string][]string{
+		"with -serve-batch": {"-serve-batch", "x.txt", "-stream", ok},
+		"with -edit":        {"-edit", "-a-text", "AB", "-stream", ok},
+		"with -max-queue":   {"-max-queue", "3", "-a-text", "AB", "-stream", ok},
+		"with -b-text":      {"-a-text", "AB", "-b-text", "CD", "-stream", ok},
+		"no pattern":        {"-stream", ok},
+		"extra args":        {"-a-text", "AB", "-stream", ok, "leftover"},
+		"missing script":    {"-a-text", "AB", "-stream", "/nonexistent/ops.txt"},
+		"bad append arity":  {"-a-text", "AB", "-stream", writeScript("append\n")},
+		"bad slide arg":     {"-a-text", "AB", "-stream", writeScript("slide two\n")},
+		"unknown op":        {"-a-text", "AB", "-stream", writeScript("frobnicate 1\n")},
+		"bad query arity":   {"-a-text", "AB", "-stream", writeScript("string-substring 1\n")},
+		"non-numeric query": {"-a-text", "AB", "-stream", writeScript("windows wide\n")},
+	}
+	for name, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", name, args)
+		}
+	}
+	// Mutation errors are per-op output lines, not run errors: sliding
+	// more chunks than the window holds reports and continues.
+	var buf bytes.Buffer
+	if err := run([]string{"-a-text", "AB", "-stream", writeScript("append AB\nslide 5\nscore\n")}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "slide: error:") || !strings.Contains(buf.String(), "#2 score = 2") {
+		t.Errorf("failed slide must report and keep serving:\n%s", buf.String())
+	}
+}
+
+// TestStreamModeMatchesBatchEngine replays the stream script and
+// checks the final window's score against a direct solve — the CLI
+// path end to end, not just the library.
+func TestStreamModeMatchesBatchEngine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-a-text", "GATTACA", "-stream", filepath.Join("testdata", "stream.txt")}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Final window after the script: GATT+ACAGATTACA, slide 1 → ACAGATTACA, +TACA.
+	var direct bytes.Buffer
+	if err := run([]string{"-a-text", "GATTACA", "-b-text", "ACAGATTACATACA", "score"}, &direct); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimPrefix(strings.Split(direct.String(), " ")[2], "")
+	if !strings.Contains(buf.String(), "#9 score = "+want) {
+		t.Errorf("stream's final score must match the direct solve (want %s):\n%s", want, buf.String())
 	}
 }
 

@@ -43,6 +43,7 @@ func scrubObs(s string) string {
 // latencies are scrubbed.
 func TestObsGolden(t *testing.T) {
 	batch := filepath.Join("testdata", "batch.txt")
+	stream := filepath.Join("testdata", "stream.txt")
 	cases := []struct {
 		name string
 		args []string
@@ -50,6 +51,8 @@ func TestObsGolden(t *testing.T) {
 		{"score-trace", []string{"-a-text", "GATTACA", "-b-text", "TACGATTACA", "-trace-stages", "score"}},
 		{"serve-batch-trace", []string{"-serve-batch", batch, "-trace-stages"}},
 		{"serve-batch-metrics", []string{"-serve-batch", batch, "-metrics", "-"}},
+		{"stream-trace", []string{"-a-text", "GATTACA", "-stream", stream, "-trace-stages"}},
+		{"stream-metrics", []string{"-a-text", "GATTACA", "-stream", stream, "-metrics", "-"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,29 @@
+package benchkit
+
+import "testing"
+
+// TB is the subset of testing.TB the allocation gate needs; taking the
+// interface keeps benchkit importable from both tests and benchmarks.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+}
+
+// AssertMaxAllocs fails t when f averages more than maxAllocs heap
+// allocations per run over runs runs (testing.AllocsPerRun underneath).
+//
+// This closes a long-standing gap in the bench lanes: `make bench-smoke`
+// runs every benchmark once and catches compile breaks and panics, but
+// a hot path that silently starts allocating sails through — -benchmem
+// output is informational, never a failure. Gating hot paths with this
+// assertion in ordinary tests (see the streaming append guards) turns
+// an allocation regression into a red CI lane.
+//
+// Like testing.AllocsPerRun, the measurement is only meaningful without
+// the race detector; callers gate their files with `//go:build !race`.
+func AssertMaxAllocs(t TB, name string, maxAllocs float64, runs int, f func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(runs, f); got > maxAllocs {
+		t.Errorf("%s: %.1f allocs per run, want ≤ %.1f", name, got, maxAllocs)
+	}
+}

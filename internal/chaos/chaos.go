@@ -52,12 +52,18 @@ const (
 	// PointWorker fires when a batch worker picks up a request (stall,
 	// latency).
 	PointWorker
+	// PointStream fires on entry to a streaming session mutation —
+	// append or slide — before any state changes (latency, error), so
+	// an injected failure leaves the session on its previous generation
+	// and a retry of the same chunk is meaningful.
+	PointStream
 	// NumPoints bounds the Point enum.
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
 	"solve", "solve-finish", "acquire", "publish", "query", "worker",
+	"stream",
 }
 
 func (p Point) String() string {
@@ -86,7 +92,7 @@ const (
 	// FaultLatency sleeps the rule's Latency at the point.
 	FaultLatency
 	// FaultError makes the point fail with a transient injected error
-	// (solve points only).
+	// (solve and stream points only).
 	FaultError
 	// FaultCancel makes the point behave as if the request's context
 	// had been cancelled (acquire and query points).
@@ -131,7 +137,7 @@ func (f Fault) validAt(p Point) bool {
 	case FaultLatency:
 		return true
 	case FaultError:
-		return p == PointSolveStart || p == PointSolveFinish
+		return p == PointSolveStart || p == PointSolveFinish || p == PointStream
 	case FaultCancel:
 		return p == PointAcquire || p == PointQuery
 	case FaultEvict:

@@ -70,6 +70,15 @@ const (
 	// StageBackoff is one retry backoff wait between solve attempts of
 	// a request whose previous attempt failed transiently.
 	StageBackoff
+	// StageStreamAppend is one streaming append end to end: the leaf
+	// comb of the arriving chunk plus every spine composition and the
+	// publish of the new kernel generation. It nests StageSolve and
+	// StageStreamCompose spans.
+	StageStreamAppend
+	// StageStreamCompose is one steady-ant composition inside a
+	// streaming session's spine (only compositions of order ≥
+	// ComposeSpanMinOrder are timed; all are counted).
+	StageStreamCompose
 	// NumStages bounds the Stage enum.
 	NumStages
 )
@@ -78,7 +87,7 @@ var stageNames = [NumStages]string{
 	"solve", "comb_rows", "comb_diags", "comb_finish", "compose",
 	"grid_comb", "grid_reduce", "bit_blocks", "prepare",
 	"cache_hit", "cache_miss", "queue_wait", "query", "request",
-	"backoff",
+	"backoff", "stream_append", "stream_compose",
 }
 
 func (s Stage) String() string {
@@ -133,6 +142,15 @@ const (
 	CounterDegradations
 	// CounterFaultsInjected counts faults fired by a chaos injector.
 	CounterFaultsInjected
+	// CounterStreamAppends counts chunks appended to streaming sessions
+	// (slides included: a slide is the append-shaped mutation of the
+	// other direction and shares the deadline/retry semantics).
+	CounterStreamAppends
+	// CounterStreamComposes counts steady-ant compositions performed by
+	// streaming sessions — spine merges, publish folds, and slide
+	// rebuilds. The differential suite bounds this against the
+	// O(log(leaves)) amortized budget.
+	CounterStreamComposes
 	// NumCounters bounds the CounterID enum.
 	NumCounters
 )
@@ -141,6 +159,7 @@ var counterNames = [NumCounters]string{
 	"comb_cells", "comb_diags", "composes", "compose_order",
 	"arena_bytes", "grid_tiles", "bit_blocks", "open_spans",
 	"retries", "sheds", "degradations", "faults_injected",
+	"appends_total", "compositions_total",
 }
 
 func (c CounterID) String() string {

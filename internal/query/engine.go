@@ -437,9 +437,29 @@ func degradeConfig(cfg core.Config) (core.Config, bool) {
 // out. Non-transient errors and successes return immediately, so the
 // fault-free path costs one extra branch.
 func (e *Engine) acquireRetry(ctx context.Context, a, b []byte, cfg core.Config) (*Session, error) {
-	sess, err := e.AcquireConfig(ctx, a, b, cfg)
+	var sess *Session
+	err := e.retryTransient(ctx, "solve", func() error {
+		var err error
+		sess, err = e.AcquireConfig(ctx, a, b, cfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// retryTransient runs op under the engine's retry policy: transient
+// failures re-attempt with exponential backoff (counted and traced as
+// StageBackoff) until the policy or ctx's deadline runs out. The
+// stream mutation path shares this with acquireRetry; op must be safe
+// to re-issue after a transient failure (both callers' ops are: a
+// failed acquire solved nothing, a failed stream mutation mutated
+// nothing).
+func (e *Engine) retryTransient(ctx context.Context, what string, op func() error) error {
+	err := op()
 	if err == nil || !e.retry.enabled() || !IsTransient(err) {
-		return sess, err
+		return err
 	}
 	for attempt := 2; attempt <= e.retry.MaxAttempts; attempt++ {
 		if wait := e.retry.backoffAfter(attempt); wait > 0 {
@@ -449,19 +469,18 @@ func (e *Engine) acquireRetry(ctx context.Context, a, b []byte, cfg core.Config)
 			case <-ctx.Done():
 				t.Stop()
 				bsp.End()
-				return nil, ctx.Err()
+				return ctx.Err()
 			case <-t.C:
 			}
 			bsp.End()
 		}
 		e.retried.Inc()
 		e.rec.Add(obs.CounterRetries, 1)
-		sess, err = e.AcquireConfig(ctx, a, b, cfg)
-		if err == nil || !IsTransient(err) {
-			return sess, err
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
 		}
 	}
-	return nil, fmt.Errorf("query: %d solve attempts failed: %w", e.retry.MaxAttempts, err)
+	return fmt.Errorf("query: %d %s attempts failed: %w", e.retry.MaxAttempts, what, err)
 }
 
 // answer runs one validated query against its prepared session; the

@@ -1,0 +1,62 @@
+package steadyant
+
+import (
+	"math/rand"
+	"testing"
+
+	"semilocal/internal/perm"
+)
+
+// TestWorkspaceMatchesMultiply checks MultiplyInto against the
+// allocating combined multiplication across orders that exercise the
+// precalc base, odd splits, and growth/reuse of one shared workspace.
+func TestWorkspaceMatchesMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var w Workspace
+	orders := []int{1, 2, 3, 5, 6, 7, 16, 33, 100, 257, 64, 8, 1000, 12}
+	for _, n := range orders {
+		for trial := 0; trial < 4; trial++ {
+			p := perm.Random(n, rng)
+			q := perm.Random(n, rng)
+			want := Multiply(p, q)
+			dst := make([]int32, n)
+			w.MultiplyInto(p.RowToCol(), q.RowToCol(), dst)
+			if !perm.FromRowToCol(dst).Equal(want) {
+				t.Fatalf("order %d trial %d: workspace product differs from Multiply", n, trial)
+			}
+		}
+	}
+}
+
+// TestWorkspaceAliasDst checks that dst may alias an input.
+func TestWorkspaceAliasDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var w Workspace
+	for _, n := range []int{4, 17, 64} {
+		p := perm.Random(n, rng)
+		q := perm.Random(n, rng)
+		want := Multiply(p, q)
+		pr := append([]int32(nil), p.RowToCol()...)
+		w.MultiplyInto(pr, q.RowToCol(), pr)
+		if !perm.FromRowToCol(pr).Equal(want) {
+			t.Fatalf("order %d: aliased product differs from Multiply", n)
+		}
+	}
+}
+
+// TestWorkspaceEmpty checks the order-0 no-op.
+func TestWorkspaceEmpty(t *testing.T) {
+	var w Workspace
+	w.MultiplyInto(nil, nil, nil)
+}
+
+// TestWorkspaceLengthMismatch checks the panic contract.
+func TestWorkspaceLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	var w Workspace
+	w.MultiplyInto(make([]int32, 3), make([]int32, 4), make([]int32, 3))
+}

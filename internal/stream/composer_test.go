@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"semilocal/internal/core"
+	"semilocal/internal/perm"
+	"semilocal/internal/steadyant"
+)
+
+// referenceComposeB is internal/hybrid's allocating formulation of the
+// b-axis composition: flip both kernels (Theorem 3.5), compose along
+// the first string (Theorem 3.4), flip back.
+func referenceComposeB(k1, k2 perm.Permutation, m, n1, n2 int) perm.Permutation {
+	p := steadyant.Compose(k1.Rotate180(), k2.Rotate180(), n1, n2, m, steadyant.Multiply)
+	return p.Rotate180()
+}
+
+// TestComposerMatchesReference pins the fused in-place composition
+// against the reference on real kernels of random string pieces.
+func TestComposerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randText := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(3))
+		}
+		return b
+	}
+	var c composer
+	for trial := 0; trial < 60; trial++ {
+		m := rng.Intn(10)
+		n1 := 1 + rng.Intn(9)
+		n2 := 1 + rng.Intn(9)
+		a, b1, b2 := randText(m), randText(n1), randText(n2)
+		s1, err := core.Solve(a, b1, DefaultSolveConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := core.Solve(a, b2, DefaultSolveConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k1, k2 := s1.Permutation(), s2.Permutation()
+		want := referenceComposeB(k1, k2, m, n1, n2)
+		dst := make([]int32, m+n1+n2)
+		c.composeB(k1.RowToCol(), k2.RowToCol(), m, n1, n2, dst)
+		got := perm.FromRowToCol(dst)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d (m=%d n1=%d n2=%d): fused composition differs from reference",
+				trial, m, n1, n2)
+		}
+		// And both must equal the kernel of the concatenation.
+		full, err := core.Solve(a, append(append([]byte(nil), b1...), b2...), DefaultSolveConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(full.Permutation()) {
+			t.Fatalf("trial %d: composition differs from direct solve of b1·b2", trial)
+		}
+	}
+}
+
+// TestComposerLengthMismatch pins the panic contract.
+func TestComposerLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	var c composer
+	c.composeB(make([]int32, 3), make([]int32, 3), 2, 1, 2, make([]int32, 5))
+}

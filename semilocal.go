@@ -30,6 +30,7 @@ import (
 	"semilocal/internal/lcs"
 	"semilocal/internal/obs"
 	"semilocal/internal/query"
+	"semilocal/internal/stream"
 )
 
 // Kernel is the implicit semi-local LCS solution; see the methods of
@@ -261,6 +262,46 @@ func ParseChaosSpec(spec string) ([]ChaosRule, error) {
 func NewSession(k *Kernel) *Session {
 	return query.NewSession(k)
 }
+
+// Streaming: the kernel is compositional (adjacent chunks of b multiply
+// under the steady ant into the kernel of their concatenation), so the
+// kernel of a growing — optionally sliding — text can be maintained
+// incrementally: each appended chunk costs one small leaf solve plus
+// O(log(n/chunk)) amortized compositions, never a from-scratch O(mn)
+// recomb. Published kernels are immutable generations behind an atomic
+// pointer; queries are lock-free and run concurrently with appends.
+
+// StreamSession maintains the kernel of a fixed pattern against a
+// chunked, sliding window of text; see internal/stream.
+type StreamSession = stream.Session
+
+// StreamConfig configures NewStreamSession; the zero value is usable.
+type StreamConfig = stream.Config
+
+// StreamState is one published kernel generation of a StreamSession.
+type StreamState = stream.State
+
+// NewStreamSession opens a standalone streaming session for pattern a
+// (no engine: no deadline or retry semantics; pair it with NewSession
+// for prepared queries). For the hardened serving path use
+// Engine.OpenStream, which returns an EngineStream.
+func NewStreamSession(a []byte, cfg StreamConfig) (*StreamSession, error) {
+	return stream.New(a, cfg)
+}
+
+// EngineStream is a streaming session served through an Engine:
+// mutations run under the engine's deadline and transient-retry
+// policy, and queries hit a per-generation prepared session cache.
+// Open one with Engine.OpenStream.
+type EngineStream = query.Stream
+
+// Streaming stages and counters for StageRecorder consumers.
+const (
+	StageStreamAppend     = obs.StageStreamAppend     // one append/slide end to end
+	StageStreamCompose    = obs.StageStreamCompose    // one spine composition
+	CounterStreamAppends  = obs.CounterStreamAppends  // appends_total (slides included)
+	CounterStreamComposes = obs.CounterStreamComposes // compositions_total
+)
 
 // UnmarshalKernel decodes a kernel previously encoded with
 // Kernel.MarshalBinary, allowing substring queries without re-solving.
