@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race test-race check check-obs check-chaos check-stream bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
+.PHONY: all build test race test-race check check-obs check-chaos check-stream check-banded bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -62,6 +62,19 @@ check-stream:
 	go test -race ./internal/stream ./internal/steadyant ./internal/query ./cmd/semilocal
 	go test -run 'ZeroAllocs|Freelist|AllocParity' ./internal/stream ./internal/steadyant ./internal/query
 
+# Banded fast-path lane: the differential wall (adversarial shapes,
+# 500+ randomized cases, collision stress under forced hash seeds, the
+# editdist cross-check, the DistanceAuto dispatch), the engine
+# dispatcher's metamorphic and counter-reconciliation suites plus the
+# mixed banded/kernel chaos soak under -race, the CLI flag-validation
+# table and banded goldens, a race-free pass for the zero-alloc guards
+# on the BFS hot loop and the routing probe, and a fuzz smoke of the
+# banded-vs-oracle target.
+check-banded:
+	go test -race ./internal/banded ./internal/editdist ./internal/query ./cmd/semilocal
+	go test -run 'ZeroAllocs' ./internal/banded
+	go test -fuzz FuzzBandedDistance -fuzztime 10s ./internal/banded
+
 bench:
 	go test -bench=. -benchmem ./...
 
@@ -96,6 +109,7 @@ fuzz:
 	go test -fuzz FuzzEditWindows -fuzztime 30s ./internal/editdist
 	go test -fuzz FuzzSessionQueries -fuzztime 30s ./internal/query
 	go test -fuzz FuzzStreamAppend -fuzztime 30s ./internal/stream
+	go test -fuzz FuzzBandedDistance -fuzztime 30s ./internal/banded
 
 # Ten-second smoke pass per target — quick enough for CI, long enough to
 # mutate beyond the checked-in seed corpora under testdata/fuzz.
@@ -107,3 +121,4 @@ fuzz-smoke:
 	go test -fuzz FuzzEditWindows -fuzztime 10s ./internal/editdist
 	go test -fuzz FuzzSessionQueries -fuzztime 10s ./internal/query
 	go test -fuzz FuzzStreamAppend -fuzztime 10s ./internal/stream
+	go test -fuzz FuzzBandedDistance -fuzztime 10s ./internal/banded

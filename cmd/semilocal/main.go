@@ -129,6 +129,8 @@ func run(args []string, out io.Writer) error {
 	degradeBelow := fs.Duration("degrade-below", 0, "with -serve-batch: fall back to the sequential algorithm when remaining deadline is below this")
 	chaosSpec := fs.String("chaos", "", "with -serve-batch: fault-injection rules `point:fault:permille[:latency[:maxcount]],...`")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "with -serve-batch: seed of the deterministic chaos schedule")
+	bandedMode := fs.Bool("banded", false, "route distance-only work through the banded diagonal-BFS fast path (score subcommand and -serve-batch)")
+	bandMaxK := fs.Int("band-max-k", 0, "with -banded: edit budget of the band (0 = derive from the measured crossover)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,8 +138,22 @@ func run(args []string, out io.Writer) error {
 	if !okAlg {
 		return fmt.Errorf("unknown algorithm %q (want one of %s)", *alg, algorithmNames())
 	}
-	if *batch != "" && *streamFile != "" {
-		return fmt.Errorf("-serve-batch and -stream are mutually exclusive")
+	if err := validateFlags(map[string]bool{
+		"-serve-batch":   *batch != "",
+		"-stream":        *streamFile != "",
+		"-edit":          *edit,
+		"-trace-stages":  *traceStages,
+		"-banded":        *bandedMode,
+		"-band-max-k":    *bandMaxK != 0,
+		"-metrics":       *metricsAddr != "",
+		"-max-queue":     *maxQueue != 0,
+		"-retries":       *retries != 0,
+		"-retry-backoff": *retryBackoff != 0,
+		"-deadline":      *deadline != 0,
+		"-degrade-below": *degradeBelow != 0,
+		"-chaos":         *chaosSpec != "",
+	}); err != nil {
+		return err
 	}
 	if *batch != "" || *streamFile != "" {
 		opts := batchOptions{
@@ -150,6 +166,8 @@ func run(args []string, out io.Writer) error {
 			retryBackoff: *retryBackoff,
 			deadline:     *deadline,
 			degradeBelow: *degradeBelow,
+			banded:       *bandedMode,
+			bandMaxK:     *bandMaxK,
 		}
 		if *chaosSpec != "" {
 			rules, err := semilocal.ParseChaosSpec(*chaosSpec)
@@ -162,30 +180,11 @@ func run(args []string, out io.Writer) error {
 		if *batch != "" {
 			return runBatch(*batch, opts, out)
 		}
-		if *edit {
-			return fmt.Errorf("-edit is not supported with -stream")
-		}
-		if *maxQueue != 0 {
-			return fmt.Errorf("-max-queue applies to -serve-batch only")
-		}
 		pattern, err := loadPattern(fs.Args(), *aText, *bText, *fasta)
 		if err != nil {
 			return err
 		}
 		return runStream(*streamFile, pattern, opts, out)
-	}
-	for name, set := range map[string]bool{
-		"-metrics":       *metricsAddr != "",
-		"-max-queue":     *maxQueue != 0,
-		"-retries":       *retries != 0,
-		"-retry-backoff": *retryBackoff != 0,
-		"-deadline":      *deadline != 0,
-		"-degrade-below": *degradeBelow != 0,
-		"-chaos":         *chaosSpec != "",
-	} {
-		if set {
-			return fmt.Errorf("%s requires -serve-batch or -stream", name)
-		}
 	}
 
 	a, b, rest, err := loadInputs(fs.Args(), *aText, *bText, *fasta)
@@ -198,10 +197,13 @@ func run(args []string, out io.Writer) error {
 
 	cfg := semilocal.Config{Algorithm: algorithm, Workers: *workers}
 	sub, subArgs := rest[0], rest[1:]
-	if *edit {
-		if *traceStages {
-			return fmt.Errorf("-trace-stages is not supported with -edit")
+	if *bandedMode {
+		if sub != "score" {
+			return fmt.Errorf("-banded supports only the score subcommand (semi-local queries need the kernel), got %q", sub)
 		}
+		return runBandedScore(a, b, cfg, *edit, *bandMaxK, out)
+	}
+	if *edit {
 		return runEdit(a, b, cfg, sub, subArgs, out)
 	}
 	var rec *semilocal.StageRecorder
@@ -220,6 +222,96 @@ func run(args []string, out io.Writer) error {
 		rec.Snapshot().WriteBreakdown(out)
 	}
 	return nil
+}
+
+// flagRule constrains one flag's allowed combinations. A rule fires
+// only when its flag was set: conflicts lists flags that may not appear
+// alongside it, requiresAny lists flags of which at least one must.
+type flagRule struct {
+	flag        string
+	conflicts   []string
+	requiresAny []string
+}
+
+// flagRules is the single table of cross-flag constraints; every
+// mutual-exclusion and dependency check of the CLI lives here instead
+// of being scattered through the mode dispatch.
+var flagRules = []flagRule{
+	{flag: "-stream", conflicts: []string{"-serve-batch", "-edit", "-banded", "-max-queue"}},
+	{flag: "-trace-stages", conflicts: []string{"-edit"}},
+	{flag: "-band-max-k", requiresAny: []string{"-banded"}},
+	{flag: "-max-queue", requiresAny: []string{"-serve-batch"}},
+	{flag: "-metrics", requiresAny: []string{"-serve-batch", "-stream"}},
+	{flag: "-retries", requiresAny: []string{"-serve-batch", "-stream"}},
+	{flag: "-retry-backoff", requiresAny: []string{"-serve-batch", "-stream"}},
+	{flag: "-deadline", requiresAny: []string{"-serve-batch", "-stream"}},
+	{flag: "-degrade-below", requiresAny: []string{"-serve-batch", "-stream"}},
+	{flag: "-chaos", requiresAny: []string{"-serve-batch", "-stream"}},
+}
+
+// validateFlags evaluates the rule table against the set of flags the
+// user provided (flag name → was set).
+func validateFlags(set map[string]bool) error {
+	for _, r := range flagRules {
+		if !set[r.flag] {
+			continue
+		}
+		for _, c := range r.conflicts {
+			if set[c] {
+				return fmt.Errorf("%s cannot be combined with %s", r.flag, c)
+			}
+		}
+		if len(r.requiresAny) > 0 {
+			ok := false
+			for _, q := range r.requiresAny {
+				if set[q] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("%s requires %s", r.flag, strings.Join(r.requiresAny, " or "))
+			}
+		}
+	}
+	return nil
+}
+
+// runBandedScore answers the single-shot score subcommand through the
+// banded diagonal BFS: exact when the inputs fit the band, with an
+// announced fallback to the ordinary kernel (or blow-up kernel, under
+// -edit) when they do not.
+func runBandedScore(a, b []byte, cfg semilocal.Config, edit bool, maxK int, out io.Writer) error {
+	if edit {
+		if d, ok := semilocal.BandedEditDistance(a, b, maxK); ok {
+			fmt.Fprintf(out, "edit distance = %d  (m=%d, n=%d, algorithm=banded)\n", d, len(a), len(b))
+			return nil
+		}
+		fmt.Fprintf(out, "# band exceeded (max-k=%s); falling back to kernel construction\n", bandBudgetLabel(maxK))
+		return runEdit(a, b, cfg, "score", nil, out)
+	}
+	maxD := 0
+	if maxK > 0 {
+		maxD = 2 * maxK // a unit-cost edit budget of k is an indel budget of 2k
+	}
+	if s, ok := semilocal.BandedLCS(a, b, maxD); ok {
+		fmt.Fprintf(out, "LCS = %d  (m=%d, n=%d, algorithm=banded)\n", s, len(a), len(b))
+		return nil
+	}
+	fmt.Fprintf(out, "# band exceeded (max-k=%s); falling back to kernel construction\n", bandBudgetLabel(maxK))
+	k, err := semilocal.Solve(a, b, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "LCS = %d  (m=%d, n=%d, algorithm=%v)\n", k.Score(), len(a), len(b), cfg.Algorithm)
+	return nil
+}
+
+func bandBudgetLabel(maxK int) string {
+	if maxK <= 0 {
+		return "auto"
+	}
+	return strconv.Itoa(maxK)
 }
 
 // runKernelSub answers one LCS-mode subcommand on a solved kernel.
@@ -398,6 +490,8 @@ type batchOptions struct {
 	degradeBelow time.Duration
 	chaosRules   []semilocal.ChaosRule
 	chaosSeed    uint64
+	banded       bool
+	bandMaxK     int
 }
 
 // runBatch answers every request in the file through one engine, then
@@ -460,6 +554,7 @@ func runBatch(path string, opts batchOptions, out io.Writer) error {
 		Deadline:     opts.deadline,
 		DegradeBelow: opts.degradeBelow,
 		Chaos:        inj,
+		Banded:       semilocal.BandedConfig{Enabled: opts.banded, MaxK: opts.bandMaxK},
 	})
 	defer engine.Close()
 	if opts.metricsAddr != "" && opts.metricsAddr != "-" {

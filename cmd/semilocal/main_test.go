@@ -133,6 +133,15 @@ func TestGolden(t *testing.T) {
 		{"edit-score", []string{"-edit", "-a-text", "kitten", "-b-text", "sitting", "score"}},
 		{"edit-windows", []string{"-edit", "-a-text", "kitten", "-b-text", "the sitting cat", "windows", "-top", "2"}},
 		{"edit-query", []string{"-edit", "-a-text", "kitten", "-b-text", "sitting", "query", "-kind", "string-substring", "-from", "0", "-to", "6"}},
+		{"score-banded", []string{"-banded", "-a-text", "ABCABBA", "-b-text", "CBABAC", "score"}},
+		// A one-edit budget the inputs exceed: the CLI announces the
+		// fallback and answers through the kernel.
+		{"score-banded-fallback", []string{"-banded", "-band-max-k", "1", "-a-text", "ABCABBA", "-b-text", "CBABAC", "score"}},
+		{"edit-score-banded", []string{"-banded", "-edit", "-a-text", "kitten", "-b-text", "sitting", "score"}},
+		{"edit-score-banded-fallback", []string{"-banded", "-edit", "-band-max-k", "1", "-a-text", "kitten", "-b-text", "sitting", "score"}},
+		// The engine dispatcher: answers must match serve-batch.golden
+		// line for line; only the counter line gains the banded split.
+		{"serve-batch-banded", []string{"-serve-batch", filepath.Join("testdata", "batch.txt"), "-banded"}},
 		{"serve-batch", []string{"-serve-batch", filepath.Join("testdata", "batch.txt")}},
 		// Admission at batch arrival with one sequential worker: the
 		// first 3 requests are admitted, requests 3..9 shed — exactly,
@@ -248,6 +257,91 @@ func TestHardeningFlagsRequireServeBatch(t *testing.T) {
 	// A malformed chaos spec is rejected before the batch file is read.
 	if err := run([]string{"-serve-batch", "/nonexistent", "-chaos", "bogus"}, io.Discard); err == nil {
 		t.Error("malformed -chaos spec accepted")
+	}
+}
+
+// TestFlagValidationTable drives the consolidated cross-flag rule
+// table: every mutual exclusion and dependency must reject with a
+// message naming the offending flag, before any input file is touched
+// (the batch/stream paths here point at nonexistent files on purpose).
+func TestFlagValidationTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"stream+serve-batch", []string{"-serve-batch", "/nope", "-stream", "/nope"}, "-stream cannot be combined with -serve-batch"},
+		{"stream+edit", []string{"-edit", "-a-text", "AB", "-stream", "/nope"}, "-stream cannot be combined with -edit"},
+		{"stream+banded", []string{"-banded", "-a-text", "AB", "-stream", "/nope"}, "-stream cannot be combined with -banded"},
+		{"stream+max-queue", []string{"-max-queue", "3", "-a-text", "AB", "-stream", "/nope"}, "cannot be combined"},
+		{"trace-stages+edit", []string{"-trace-stages", "-edit", "-a-text", "AB", "-b-text", "BA", "score"}, "-trace-stages cannot be combined with -edit"},
+		{"band-max-k alone", []string{"-band-max-k", "5", "-a-text", "AB", "-b-text", "BA", "score"}, "-band-max-k requires -banded"},
+		{"max-queue alone", []string{"-max-queue", "3", "-a-text", "AB", "-b-text", "BA", "score"}, "-max-queue requires -serve-batch"},
+		{"metrics alone", []string{"-metrics", "-", "-a-text", "AB", "-b-text", "BA", "score"}, "-metrics requires -serve-batch or -stream"},
+		{"retries alone", []string{"-retries", "2", "-a-text", "AB", "-b-text", "BA", "score"}, "requires -serve-batch or -stream"},
+		{"chaos alone", []string{"-chaos", "solve:latency:10:1ms", "-a-text", "AB", "-b-text", "BA", "score"}, "requires -serve-batch or -stream"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) = %q, want it to contain %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+	// Valid combinations the table must NOT reject.
+	for _, args := range [][]string{
+		{"-banded", "-a-text", "ABCABBA", "-b-text", "CBABAC", "score"},
+		{"-banded", "-band-max-k", "64", "-a-text", "ABCABBA", "-b-text", "CBABAC", "score"},
+		{"-banded", "-edit", "-a-text", "kitten", "-b-text", "sitting", "score"},
+		{"-serve-batch", filepath.Join("testdata", "batch.txt"), "-banded", "-band-max-k", "16"},
+	} {
+		if err := run(args, io.Discard); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	// -banded is distance-only: the semi-local subcommands need the
+	// kernel and must reject it at dispatch.
+	for _, sub := range [][]string{
+		{"-banded", "-a-text", "GATTACA", "-b-text", "TACGATTACA", "windows", "-width", "5"},
+		{"-banded", "-a-text", "GATTACA", "-b-text", "TACGATTACA", "query", "-kind", "string-substring"},
+	} {
+		err := run(sub, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "-banded supports only the score subcommand") {
+			t.Errorf("run(%v) = %v, want banded-subcommand error", sub, err)
+		}
+	}
+}
+
+// TestServeBatchBandedMatchesPlain is the CLI-level metamorphic check:
+// enabling the dispatcher changes routing and counters, never answers.
+func TestServeBatchBandedMatchesPlain(t *testing.T) {
+	batch := filepath.Join("testdata", "batch.txt")
+	var plain, banded bytes.Buffer
+	if err := run([]string{"-serve-batch", batch}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve-batch", batch, "-banded"}, &banded); err != nil {
+		t.Fatal(err)
+	}
+	pl := strings.Split(plain.String(), "\n")
+	bl := strings.Split(banded.String(), "\n")
+	if len(pl) != len(bl) {
+		t.Fatalf("line count differs: %d vs %d", len(pl), len(bl))
+	}
+	for i := range pl {
+		if strings.HasPrefix(pl[i], "# engine:") {
+			if !strings.Contains(bl[i], "requests_banded=") {
+				t.Errorf("banded run's counter line lacks requests_banded: %s", bl[i])
+			}
+			continue
+		}
+		if pl[i] != bl[i] {
+			t.Errorf("line %d differs under -banded:\nplain:  %s\nbanded: %s", i, pl[i], bl[i])
+		}
 	}
 }
 

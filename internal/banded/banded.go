@@ -1,0 +1,392 @@
+// Package banded computes edit distance (and LCS score) by breadth-
+// first search over diagonals with LCP jumps — the Landau–Vishkin
+// fast path for near-identical inputs.
+//
+// The full semi-local kernel of this repository answers every substring
+// query after O(mn) construction; that generality is wasted on the
+// traffic that dominates comparison workloads at scale (deduplication,
+// sync, versioned documents), where the two strings differ in a small
+// number k of edits. The diagonal BFS instead spends O(m+n) building a
+// rolling-hash LCP jump table (see hash.go) and then explores only the
+// 2k+1 diagonals an optimal alignment can touch, extending each
+// frontier along runs of matches in O(log n) per jump:
+//
+//	cost = O(m + n + k²·log n)   vs.   O(mn) for the kernel,
+//
+// orders of magnitude faster when k ≪ √(mn). DistanceBounded abandons
+// the search as soon as the band exceeds a budget maxK, which is what
+// lets a serving-path dispatcher probe cheaply and fall back to the
+// kernel pipeline when inputs diverge (see internal/query).
+//
+// Two move sets are provided: Distance/DistanceBounded run the
+// unit-cost Levenshtein BFS (substitutions allowed, Landau–Vishkin),
+// and LCSScore/LCSScoreBounded run the insertion/deletion-only BFS
+// (Myers' O(ND) with snake jumps), whose distance D relates to the LCS
+// by LCS = (m+n−D)/2 — bit-identical to the kernel's Score and to the
+// quadratic oracle, which is what the differential wall pins.
+package banded
+
+import (
+	"bytes"
+	"sync"
+)
+
+// negInf marks an unreachable diagonal in a frontier array. It is
+// deeply negative (never produced by a real frontier) but far from the
+// int minimum, so the +1 in transitions cannot wrap.
+const negInf = -1 << 40
+
+// workspace owns every buffer the BFS needs — hash tables, power
+// tables, frontier arrays — so repeat solves allocate nothing once the
+// buffers have grown to size (the alloc guard in alloc_test.go pins
+// this). Distance and friends recycle workspaces through a sync.Pool.
+type workspace struct {
+	j        jumper
+	cur, nxt []int
+}
+
+var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+
+// Distance returns the unit-cost Levenshtein distance of a and b in
+// O(m + n + d²·log n) time, where d is the distance itself.
+func Distance(a, b []byte) int {
+	d, _ := distance(a, b, -1)
+	return d
+}
+
+// DistanceBounded is Distance with a band budget: it returns
+// (distance, true) when ed(a, b) ≤ maxK, and (0, false) as soon as the
+// search proves the distance exceeds maxK — without ever exploring
+// more than 2·maxK+1 diagonals. maxK < 0 is rejected as (0, false).
+func DistanceBounded(a, b []byte, maxK int) (int, bool) {
+	if maxK < 0 {
+		return 0, false
+	}
+	return distance(a, b, maxK)
+}
+
+// LCSScore returns the LCS score of a and b via the insertion/deletion
+// BFS: O(m + n + D²·log n) where D = m + n − 2·LCS(a, b) is the indel
+// distance — the fast path for near-identical inputs, bit-identical to
+// the semi-local kernel's Score.
+func LCSScore(a, b []byte) int {
+	s, _ := lcsScore(a, b, -1)
+	return s
+}
+
+// LCSScoreBounded is LCSScore with a budget on the indel distance D:
+// it returns (score, true) when D ≤ maxD and (0, false) once the band
+// exceeds maxD. A unit-cost edit budget k corresponds to maxD = 2k
+// (a substitution costs two indels). maxD < 0 is rejected.
+func LCSScoreBounded(a, b []byte, maxD int) (int, bool) {
+	if maxD < 0 {
+		return 0, false
+	}
+	return lcsScore(a, b, maxD)
+}
+
+// AutoMaxK returns the default band budget for an m×n pair: the edit
+// band up to which the BFS is expected to beat kernel construction.
+// The kernel costs Θ(mn) cell updates while the BFS costs
+// Θ(m+n+k²·log n), so the crossover sits near √(mn) scaled by the
+// ratio of per-cell to per-jump constants — measured at roughly 1/8
+// on the EXPERIMENTS.md k-scaling runs, with a floor that keeps tiny
+// inputs always eligible.
+func AutoMaxK(m, n int) int {
+	k := isqrt(m*n) / 8
+	if k < 64 {
+		k = 64
+	}
+	return k
+}
+
+// isqrt returns ⌊√x⌋ by Newton iteration (exact for all non-negative
+// ints; no float rounding at 10¹²-scale products).
+func isqrt(x int) int {
+	if x <= 0 {
+		return 0
+	}
+	r := x
+	p := (r + 1) / 2
+	for p < r {
+		r = p
+		p = (r + x/r) / 2
+	}
+	return r
+}
+
+// trimCommon strips the longest common prefix and suffix, returning the
+// divergent middles and the number of matched bytes removed. Both move
+// sets are invariant under this (any optimal alignment can be rewritten
+// to match a common prefix/suffix of equal cost), and it is the single
+// biggest win on near-identical traffic: the hash tables are then built
+// over the k-sized middle, not the whole input.
+func trimCommon(a, b []byte) (ta, tb []byte, matched int) {
+	p := 0
+	max := len(a)
+	if len(b) < max {
+		max = len(b)
+	}
+	for p < max && a[p] == b[p] {
+		p++
+	}
+	a, b = a[p:], b[p:]
+	s := 0
+	max -= p
+	for s < max && a[len(a)-1-s] == b[len(b)-1-s] {
+		s++
+	}
+	return a[:len(a)-s], b[:len(b)-s], p + s
+}
+
+// distance runs the Levenshtein BFS; maxK < 0 means unbounded.
+func distance(a, b []byte, maxK int) (int, bool) {
+	a, b, _ = trimCommon(a, b)
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		d := m + n
+		if maxK >= 0 && d > maxK {
+			return 0, false
+		}
+		return d, true
+	}
+	if maxK >= 0 && abs(m-n) > maxK {
+		return 0, false
+	}
+	ws := wsPool.Get().(*workspace)
+	d, ok := ws.levenshtein(a, b, maxK)
+	wsPool.Put(ws)
+	return d, ok
+}
+
+// levenshtein is the Landau–Vishkin BFS proper. Frontier semantics:
+// L(e, d) is the largest row i such that ed(a[:i], b[:i−d]) ≤ e, after
+// extension along the diagonal's match run. Transitions into diagonal
+// d = i−j for round e: substitution from L(e−1, d)+1, deletion (consume
+// a) from L(e−1, d−1)+1, insertion (consume b) from L(e−1, d+1); the
+// maximum is clamped to the grid and snaked forward by one LCP jump.
+// The answer is the first e with L(e, m−n) = m.
+func (ws *workspace) levenshtein(a, b []byte, maxK int) (int, bool) {
+	m, n := len(a), len(b)
+	kmax := maxK
+	if kmax < 0 || kmax > m+n {
+		kmax = m + n // every pair is within max(m,n) ≤ m+n edits
+	}
+	ws.j.init(a, b)
+	// Diagonals d ∈ [−min(kmax,n), min(kmax,m)], with one sentinel slot
+	// on each side so transitions never bounds-check.
+	dlo, dhi := -min(kmax, n), min(kmax, m)
+	off := 1 - dlo // frontier index of diagonal d is d+off
+	width := dhi - dlo + 3
+	ws.cur = growInt(ws.cur, width)
+	ws.nxt = growInt(ws.nxt, width)
+	cur, nxt := ws.cur, ws.nxt
+	for i := range cur {
+		cur[i] = negInf
+		nxt[i] = negInf
+	}
+	f0 := ws.j.lcp(0, 0)
+	if m == n && f0 == m {
+		return 0, true
+	}
+	cur[off] = f0
+	target := m - n
+	for e := 1; e <= kmax; e++ {
+		lo, hi := max(-e, dlo), min(e, dhi)
+		for d := lo; d <= hi; d++ {
+			t := cur[d+off] + 1 // substitution
+			if del := cur[d-1+off] + 1; del > t {
+				t = del // deletion from a
+			}
+			if ins := cur[d+1+off]; ins > t {
+				t = ins // insertion from b
+			}
+			if t < 0 {
+				nxt[d+off] = negInf
+				continue
+			}
+			// Clamp to the grid: i ≤ m and j = i−d ≤ n.
+			if t > m {
+				t = m
+			}
+			if t > n+d {
+				t = n + d
+			}
+			if t < m && t-d < n {
+				t += ws.j.lcp(t, t-d)
+			}
+			nxt[d+off] = t
+			if d == target && t == m {
+				return e, true
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	return 0, false
+}
+
+// lcsScore runs the indel-only BFS; maxD < 0 means unbounded. The
+// returned score already includes the trimmed common prefix/suffix.
+func lcsScore(a, b []byte, maxD int) (int, bool) {
+	a, b, matched := trimCommon(a, b)
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		if maxD >= 0 && m+n > maxD {
+			return 0, false
+		}
+		return matched, true
+	}
+	if maxD >= 0 && abs(m-n) > maxD {
+		return 0, false
+	}
+	ws := wsPool.Get().(*workspace)
+	d, ok := ws.myers(a, b, maxD)
+	wsPool.Put(ws)
+	if !ok {
+		return 0, false
+	}
+	return matched + (m+n-d)/2, true
+}
+
+// myers is Myers' O(ND) greedy BFS with LCP snakes: only insertions and
+// deletions move between diagonals, so round D touches only diagonals
+// with d ≡ D (mod 2) and the frontier updates in place (reads are all
+// of the opposite parity, i.e. round D−1).
+func (ws *workspace) myers(a, b []byte, maxD int) (int, bool) {
+	m, n := len(a), len(b)
+	dmax := maxD
+	if dmax < 0 || dmax > m+n {
+		dmax = m + n
+	}
+	ws.j.init(a, b)
+	dlo, dhi := -min(dmax, n), min(dmax, m)
+	off := 1 - dlo
+	width := dhi - dlo + 3
+	ws.cur = growInt(ws.cur, width)
+	v := ws.cur
+	for i := range v {
+		v[i] = negInf
+	}
+	f0 := ws.j.lcp(0, 0)
+	if m == n && f0 == m {
+		return 0, true
+	}
+	v[off] = f0
+	target := m - n
+	for e := 1; e <= dmax; e++ {
+		lo, hi := max(-e, dlo), min(e, dhi)
+		if (lo^e)&1 != 0 {
+			lo++ // d must share e's parity
+		}
+		if (hi^e)&1 != 0 {
+			hi--
+		}
+		for d := lo; d <= hi; d += 2 {
+			t := v[d-1+off] + 1 // deletion from a
+			if ins := v[d+1+off]; ins > t {
+				t = ins // insertion from b
+			}
+			if t < 0 {
+				v[d+off] = negInf
+				continue
+			}
+			if t > m {
+				t = m
+			}
+			if t > n+d {
+				t = n + d
+			}
+			if t < m && t-d < n {
+				t += ws.j.lcp(t, t-d)
+			}
+			v[d+off] = t
+			if d == target && t == m {
+				return e, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Probe is the result of ProbeBand: a cheap, alignment-tolerant
+// divergence estimate a dispatcher can consult before committing to the
+// banded path. It is a routing hint, never a correctness claim — the
+// bounded BFS still abandons the band if the probe underestimates.
+type Probe struct {
+	// M and N are the lengths of the divergent middles after trimming
+	// the common prefix and suffix.
+	M, N int
+	// Anchors is how many sample windows were probed; Mismatched is how
+	// many of them could not be re-located in the other string within
+	// the shift tolerance.
+	Anchors, Mismatched int
+}
+
+// Probe sampling geometry: anchorCount windows of anchorLen bytes,
+// evenly spaced through the trimmed middle of a, each searched for in
+// the corresponding neighborhood of b. The search neighborhood extends
+// tolerance bytes each way (clamped to [minTolerance, maxTolerance] of
+// the dispatcher's band budget), so anchors survive up to that much
+// insertion/deletion drift.
+const (
+	anchorCount  = 16
+	anchorLen    = 16
+	minTolerance = 32
+	maxTolerance = 1024
+)
+
+// ProbeBand estimates how far a and b diverge, for routing between the
+// banded path and kernel construction: O(m+n) prefix/suffix trim plus
+// anchorCount windowed substring searches. maxK is the band budget the
+// caller intends to use; it sets the anchor drift tolerance.
+func ProbeBand(a, b []byte, maxK int) Probe {
+	ta, tb, _ := trimCommon(a, b)
+	p := Probe{M: len(ta), N: len(tb)}
+	tol := maxK
+	if tol < minTolerance {
+		tol = minTolerance
+	}
+	if tol > maxTolerance {
+		tol = maxTolerance
+	}
+	// Middles small enough for the BFS to chew through regardless of
+	// content need no sampling.
+	if p.M <= 4*tol || p.N == 0 {
+		return p
+	}
+	for s := 0; s < anchorCount; s++ {
+		pos := (s + 1) * (p.M - anchorLen) / (anchorCount + 1)
+		win := ta[pos : pos+anchorLen]
+		lo, hi := pos-tol, pos+tol+anchorLen
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > p.N {
+			hi = p.N
+		}
+		p.Anchors++
+		if lo >= hi || !bytes.Contains(tb[lo:hi], win) {
+			p.Mismatched++
+		}
+	}
+	return p
+}
+
+// Routable reports whether the probe recommends the banded path under
+// band budget maxK: the length difference must fit the band, and at
+// most a quarter of the anchors may have lost alignment. Near-identical
+// pairs lose no anchors (every window re-locates within the drift
+// tolerance); heavily diverged pairs lose nearly all of them.
+func (p Probe) Routable(maxK int) bool {
+	if abs(p.M-p.N) > maxK {
+		return false
+	}
+	return 4*p.Mismatched <= p.Anchors
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

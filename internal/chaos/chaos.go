@@ -57,13 +57,19 @@ const (
 	// an injected failure leaves the session on its previous generation
 	// and a retry of the same chunk is meaningful.
 	PointStream
+	// PointBanded fires when the engine dispatcher considers the banded
+	// diagonal-BFS fast path for a request (latency, error). An
+	// injected error forces the request onto the kernel fallback — the
+	// answer stays bit-identical, only the routing changes, which is
+	// exactly what the chaos metamorphic suite asserts.
+	PointBanded
 	// NumPoints bounds the Point enum.
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
 	"solve", "solve-finish", "acquire", "publish", "query", "worker",
-	"stream",
+	"stream", "banded",
 }
 
 func (p Point) String() string {
@@ -92,7 +98,8 @@ const (
 	// FaultLatency sleeps the rule's Latency at the point.
 	FaultLatency
 	// FaultError makes the point fail with a transient injected error
-	// (solve and stream points only).
+	// (solve, stream and banded points; at the banded point the serving
+	// path absorbs the failure by falling back to the kernel).
 	FaultError
 	// FaultCancel makes the point behave as if the request's context
 	// had been cancelled (acquire and query points).
@@ -137,7 +144,7 @@ func (f Fault) validAt(p Point) bool {
 	case FaultLatency:
 		return true
 	case FaultError:
-		return p == PointSolveStart || p == PointSolveFinish || p == PointStream
+		return p == PointSolveStart || p == PointSolveFinish || p == PointStream || p == PointBanded
 	case FaultCancel:
 		return p == PointAcquire || p == PointQuery
 	case FaultEvict:

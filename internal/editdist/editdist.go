@@ -21,6 +21,7 @@ package editdist
 import (
 	"fmt"
 
+	"semilocal/internal/banded"
 	"semilocal/internal/core"
 )
 
@@ -166,4 +167,17 @@ func Distance(a, b []byte) int {
 		}
 	}
 	return int(row[n])
+}
+
+// DistanceAuto computes the plain edit distance, choosing the algorithm
+// by input shape: it first runs the banded diagonal BFS under the
+// AutoMaxK budget — O(n + k²·log n) when the strings are within k edits
+// — and falls back to the quadratic DP of Distance only when the pair
+// is more divergent than the band covers. Both paths return the exact
+// distance; only the running time differs.
+func DistanceAuto(a, b []byte) int {
+	if d, ok := banded.DistanceBounded(a, b, banded.AutoMaxK(len(a), len(b))); ok {
+		return d
+	}
+	return Distance(a, b)
 }

@@ -79,6 +79,14 @@ const (
 	// streaming session's spine (only compositions of order ≥
 	// ComposeSpanMinOrder are timed; all are counted).
 	StageStreamCompose
+	// StageBandProbe is the engine dispatcher's divergence probe: the
+	// prefix/suffix trim plus sampled-anchor scan that decides whether
+	// a distance-only request may take the banded fast path.
+	StageBandProbe
+	// StageBandedBFS is one banded diagonal-BFS solve (the
+	// Landau–Vishkin fast path for near-identical inputs), whether it
+	// completed within its band budget or exited early.
+	StageBandedBFS
 	// NumStages bounds the Stage enum.
 	NumStages
 )
@@ -88,6 +96,7 @@ var stageNames = [NumStages]string{
 	"grid_comb", "grid_reduce", "bit_blocks", "prepare",
 	"cache_hit", "cache_miss", "queue_wait", "query", "request",
 	"backoff", "stream_append", "stream_compose",
+	"band_probe", "banded_bfs",
 }
 
 func (s Stage) String() string {
@@ -151,6 +160,15 @@ const (
 	// rebuilds. The differential suite bounds this against the
 	// O(log(leaves)) amortized budget.
 	CounterStreamComposes
+	// CounterBandedRequests counts engine requests answered by the
+	// banded diagonal-BFS fast path instead of kernel construction.
+	CounterBandedRequests
+	// CounterBandFallbacks counts banded-eligible requests that fell
+	// back to the kernel pipeline — the probe voted no, the band blew
+	// past its budget, or a chaos fault forced the fallback. For any
+	// banded-eligible load, requests_banded + band_fallbacks accounts
+	// for every eligible request (the soak test pins this).
+	CounterBandFallbacks
 	// NumCounters bounds the CounterID enum.
 	NumCounters
 )
@@ -160,6 +178,7 @@ var counterNames = [NumCounters]string{
 	"arena_bytes", "grid_tiles", "bit_blocks", "open_spans",
 	"retries", "sheds", "degradations", "faults_injected",
 	"appends_total", "compositions_total",
+	"requests_banded", "band_fallbacks",
 }
 
 func (c CounterID) String() string {

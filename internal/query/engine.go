@@ -96,6 +96,12 @@ type Options struct {
 	// internal/chaos). nil — the production configuration — disables
 	// injection entirely at zero cost.
 	Chaos *chaos.Injector
+	// Banded turns on the banded diagonal-BFS fast path for distance-only
+	// (Score) requests: a cheap divergence probe routes near-identical
+	// pairs around kernel construction entirely, falling back to the full
+	// pipeline when the band blows up or the request needs semi-local
+	// structure. The zero value keeps every request on the kernel path.
+	Banded BandedConfig
 }
 
 // Defaults for Options zero values.
@@ -124,11 +130,20 @@ type Engine struct {
 	degradeBelow time.Duration
 	pending      atomic.Int64 // admitted, not yet answered (≤ maxQueue)
 
+	banded BandedConfig
+
 	requests *stats.Counter // BatchSolve requests accepted
 	inflight *stats.Counter // requests currently being processed (gauge)
 	sheds    *stats.Counter // requests rejected by admission control
 	retried  *stats.Counter // extra solve attempts after transient failures
 	degraded *stats.Counter // requests downgraded to the sequential variant
+
+	// Registered only when the banded fast path is enabled, so engines
+	// that never dispatch keep their counter set (and metrics output)
+	// unchanged — the same lazy-registration contract the streaming
+	// counters follow.
+	bandedReqs    *stats.Counter // Score requests answered by the banded path
+	bandFallbacks *stats.Counter // banded-eligible requests routed to the kernel
 }
 
 // NewEngine builds an engine; the caller owns it and must Close it.
@@ -145,7 +160,7 @@ func NewEngine(opts Options) *Engine {
 	if maxKernels == 0 {
 		maxKernels = DefaultMaxKernels
 	}
-	return &Engine{
+	e := &Engine{
 		cache:        newCache(shards, maxKernels, reg, opts.Obs, opts.Chaos),
 		pool:         parallel.NewPool(opts.Workers),
 		cfg:          opts.Config,
@@ -156,12 +171,18 @@ func NewEngine(opts Options) *Engine {
 		retry:        opts.Retry,
 		deadline:     opts.Deadline,
 		degradeBelow: opts.DegradeBelow,
+		banded:       opts.Banded,
 		requests:     reg.Counter("requests"),
 		inflight:     reg.Counter("requests_inflight"),
 		sheds:        reg.Counter("requests_shed"),
 		retried:      reg.Counter("requests_retried"),
 		degraded:     reg.Counter("requests_degraded"),
 	}
+	if e.banded.Enabled {
+		e.bandedReqs = reg.Counter("requests_banded")
+		e.bandFallbacks = reg.Counter("band_fallbacks")
+	}
+	return e
 }
 
 // Recorder returns the engine's stage recorder (nil when tracing is
@@ -364,6 +385,15 @@ func (e *Engine) one(ctx context.Context, req Request, stalled bool) Result {
 	}
 	if err := req.Kind.validate(req.From, req.To, req.Width, len(req.A), len(req.B)); err != nil {
 		return Result{Err: err}
+	}
+	// Shape dispatch: distance-only requests on near-identical inputs
+	// skip kernel construction entirely via the banded diagonal BFS. A
+	// probe veto, band blow-up, or injected fault falls through to the
+	// kernel pipeline below with the answer unchanged.
+	if e.banded.Enabled && req.Kind == Score {
+		if res, ok := e.tryBanded(ctx, req); ok {
+			return res
+		}
 	}
 	// Graceful degradation: a near deadline or an injected pool stall
 	// swaps an uncached parallel solve for the sequential variant —

@@ -23,6 +23,7 @@
 package semilocal
 
 import (
+	"semilocal/internal/banded"
 	"semilocal/internal/bitlcs"
 	"semilocal/internal/chaos"
 	"semilocal/internal/core"
@@ -321,8 +322,52 @@ func SolveEdit(a, b []byte, cfg Config) (*EditKernel, error) {
 	return editdist.Solve(a, b, cfg)
 }
 
-// EditDistance returns the unit-cost Levenshtein distance of a and b by
-// linear-space dynamic programming.
+// EditDistance returns the unit-cost Levenshtein distance of a and b,
+// dispatching by input shape: near-identical pairs are answered by the
+// banded diagonal BFS in O(n + k²·log n), divergent pairs by
+// linear-space dynamic programming. Both paths are exact.
 func EditDistance(a, b []byte) int {
-	return editdist.Distance(a, b)
+	return editdist.DistanceAuto(a, b)
 }
+
+// Banded fast path: edit distance and LCS by BFS over diagonals with
+// LCP jumps (Landau–Vishkin with a rolling-hash jump table) —
+// O(n + k²·log n) for pairs within k edits, against the kernel
+// pipeline's Θ(mn) construction. The standalone functions answer one
+// pair; EngineOptions.Banded turns the same machinery into the engine's
+// input-shape dispatcher, which routes Score requests on near-identical
+// inputs around kernel construction and falls back (counted, chaos-
+// injectable) when the band blows up.
+
+// BandedConfig configures the engine's banded fast path; see
+// EngineOptions.Banded.
+type BandedConfig = query.BandedConfig
+
+// BandedEditDistance returns the unit-cost edit distance of a and b if
+// it is at most maxK, reporting ok=false (an early exit after
+// O(n + maxK²·log n) work) otherwise. maxK ≤ 0 derives the budget from
+// the measured banded-vs-kernel crossover (see EXPERIMENTS.md).
+func BandedEditDistance(a, b []byte, maxK int) (int, bool) {
+	if maxK <= 0 {
+		maxK = banded.AutoMaxK(len(a), len(b))
+	}
+	return banded.DistanceBounded(a, b, maxK)
+}
+
+// BandedLCS returns the LCS score of a and b if their indel distance
+// (m + n − 2·LCS) is at most maxD, reporting ok=false otherwise.
+// maxD ≤ 0 derives the budget like BandedEditDistance.
+func BandedLCS(a, b []byte, maxD int) (int, bool) {
+	if maxD <= 0 {
+		maxD = 2 * banded.AutoMaxK(len(a), len(b))
+	}
+	return banded.LCSScoreBounded(a, b, maxD)
+}
+
+// Banded stages and counters for StageRecorder consumers.
+const (
+	StageBandProbe        = obs.StageBandProbe        // the dispatcher's divergence probe
+	StageBandedBFS        = obs.StageBandedBFS        // one banded diagonal-BFS solve
+	CounterBandedRequests = obs.CounterBandedRequests // requests_banded
+	CounterBandFallbacks  = obs.CounterBandFallbacks  // band_fallbacks
+)
