@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race test-race check check-obs check-chaos check-stream check-banded bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
+.PHONY: all build test race test-race check check-obs check-chaos check-stream check-banded check-store bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -75,6 +75,19 @@ check-banded:
 	go test -run 'ZeroAllocs' ./internal/banded
 	go test -fuzz FuzzBandedDistance -fuzztime 10s ./internal/banded
 
+# Persistent-store lane: the crash/corruption test wall of the on-disk
+# kernel store (truncation at every byte boundary, exhaustive bit-flip
+# detection, the all-configs differential pin of the content-only key),
+# the engine integration suite (warm restart under solve-killing chaos,
+# store-fault metamorphic degradation, the eviction-heavy concurrent
+# soak) and the CLI -store-dir warm-restart test — all under -race —
+# plus a race-free pass for the store alloc guards and kernel-codec
+# edge tests, and a fuzz smoke of the log-recovery target.
+check-store:
+	go test -race ./internal/store ./internal/query ./cmd/semilocal
+	go test -run 'TestStore|TestKernelIO' ./internal/store ./internal/query ./internal/core
+	go test -fuzz FuzzStoreOpen -fuzztime 10s ./internal/store
+
 bench:
 	go test -bench=. -benchmem ./...
 
@@ -110,6 +123,8 @@ fuzz:
 	go test -fuzz FuzzSessionQueries -fuzztime 30s ./internal/query
 	go test -fuzz FuzzStreamAppend -fuzztime 30s ./internal/stream
 	go test -fuzz FuzzBandedDistance -fuzztime 30s ./internal/banded
+	go test -fuzz FuzzKernelRoundtrip -fuzztime 30s ./internal/core
+	go test -fuzz FuzzStoreOpen -fuzztime 30s ./internal/store
 
 # Ten-second smoke pass per target — quick enough for CI, long enough to
 # mutate beyond the checked-in seed corpora under testdata/fuzz.
@@ -122,3 +137,5 @@ fuzz-smoke:
 	go test -fuzz FuzzSessionQueries -fuzztime 10s ./internal/query
 	go test -fuzz FuzzStreamAppend -fuzztime 10s ./internal/stream
 	go test -fuzz FuzzBandedDistance -fuzztime 10s ./internal/banded
+	go test -fuzz FuzzKernelRoundtrip -fuzztime 10s ./internal/core
+	go test -fuzz FuzzStoreOpen -fuzztime 10s ./internal/store

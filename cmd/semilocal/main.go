@@ -131,6 +131,7 @@ func run(args []string, out io.Writer) error {
 	chaosSeed := fs.Uint64("chaos-seed", 1, "with -serve-batch: seed of the deterministic chaos schedule")
 	bandedMode := fs.Bool("banded", false, "route distance-only work through the banded diagonal-BFS fast path (score subcommand and -serve-batch)")
 	bandMaxK := fs.Int("band-max-k", 0, "with -banded: edit budget of the band (0 = derive from the measured crossover)")
+	storeDir := fs.String("store-dir", "", "with -serve-batch: back the kernel cache with a persistent on-disk store in this directory (crash-safe, shared across runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,6 +153,7 @@ func run(args []string, out io.Writer) error {
 		"-deadline":      *deadline != 0,
 		"-degrade-below": *degradeBelow != 0,
 		"-chaos":         *chaosSpec != "",
+		"-store-dir":     *storeDir != "",
 	}); err != nil {
 		return err
 	}
@@ -168,6 +170,7 @@ func run(args []string, out io.Writer) error {
 			degradeBelow: *degradeBelow,
 			banded:       *bandedMode,
 			bandMaxK:     *bandMaxK,
+			storeDir:     *storeDir,
 		}
 		if *chaosSpec != "" {
 			rules, err := semilocal.ParseChaosSpec(*chaosSpec)
@@ -247,6 +250,7 @@ var flagRules = []flagRule{
 	{flag: "-deadline", requiresAny: []string{"-serve-batch", "-stream"}},
 	{flag: "-degrade-below", requiresAny: []string{"-serve-batch", "-stream"}},
 	{flag: "-chaos", requiresAny: []string{"-serve-batch", "-stream"}},
+	{flag: "-store-dir", requiresAny: []string{"-serve-batch"}},
 }
 
 // validateFlags evaluates the rule table against the set of flags the
@@ -492,6 +496,7 @@ type batchOptions struct {
 	chaosSeed    uint64
 	banded       bool
 	bandMaxK     int
+	storeDir     string
 }
 
 // runBatch answers every request in the file through one engine, then
@@ -542,6 +547,15 @@ func runBatch(path string, opts batchOptions, out io.Writer) error {
 			return fmt.Errorf("-chaos: %w", err)
 		}
 	}
+	var kstore *semilocal.KernelStore
+	if opts.storeDir != "" {
+		kstore, err = semilocal.OpenStore(opts.storeDir, semilocal.StoreConfig{})
+		if err != nil {
+			return err
+		}
+		// Closed after the engine: Engine.Close drains pending appends.
+		defer kstore.Close()
+	}
 	engine := semilocal.NewEngine(semilocal.EngineOptions{
 		Config:   semilocal.Config{Algorithm: opts.algorithm},
 		Workers:  opts.workers,
@@ -555,6 +569,7 @@ func runBatch(path string, opts batchOptions, out io.Writer) error {
 		DegradeBelow: opts.degradeBelow,
 		Chaos:        inj,
 		Banded:       semilocal.BandedConfig{Enabled: opts.banded, MaxK: opts.bandMaxK},
+		Store:        kstore,
 	})
 	defer engine.Close()
 	if opts.metricsAddr != "" && opts.metricsAddr != "-" {

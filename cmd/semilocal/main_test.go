@@ -280,6 +280,8 @@ func TestFlagValidationTable(t *testing.T) {
 		{"metrics alone", []string{"-metrics", "-", "-a-text", "AB", "-b-text", "BA", "score"}, "-metrics requires -serve-batch or -stream"},
 		{"retries alone", []string{"-retries", "2", "-a-text", "AB", "-b-text", "BA", "score"}, "requires -serve-batch or -stream"},
 		{"chaos alone", []string{"-chaos", "solve:latency:10:1ms", "-a-text", "AB", "-b-text", "BA", "score"}, "requires -serve-batch or -stream"},
+		{"store-dir alone", []string{"-store-dir", "/nope", "-a-text", "AB", "-b-text", "BA", "score"}, "-store-dir requires -serve-batch"},
+		{"store-dir+stream", []string{"-store-dir", "/nope", "-a-text", "AB", "-stream", "/nope"}, "-store-dir requires -serve-batch"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -437,5 +439,62 @@ func TestServeBatchDeadlineAndDegrade(t *testing.T) {
 	}
 	if !degradedSeen {
 		t.Errorf("degraded run did not report requests_degraded=2:\n%s", hardened.String())
+	}
+}
+
+// TestServeBatchStoreWarmRestart is the end-to-end restart story: two
+// CLI invocations share a -store-dir; the second one answers every
+// request identically to a store-less run while reporting store hits —
+// the kernels came off disk, not from fresh solves.
+func TestServeBatchStoreWarmRestart(t *testing.T) {
+	batch := filepath.Join("testdata", "batch.txt")
+	dir := t.TempDir()
+	var plain, cold, warm bytes.Buffer
+	if err := run([]string{"-serve-batch", batch}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve-batch", batch, "-store-dir", dir}, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve-batch", batch, "-store-dir", dir}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	pl := strings.Split(plain.String(), "\n")
+	for name, other := range map[string][]string{
+		"cold": strings.Split(cold.String(), "\n"),
+		"warm": strings.Split(warm.String(), "\n"),
+	} {
+		if len(pl) != len(other) {
+			t.Fatalf("%s run line count differs: %d vs %d", name, len(pl), len(other))
+		}
+		for i := range pl {
+			if strings.HasPrefix(pl[i], "# engine:") {
+				continue // counters legitimately differ with a store
+			}
+			if pl[i] != other[i] {
+				t.Errorf("%s run line %d differs:\nplain: %s\nstore: %s", name, i, pl[i], other[i])
+			}
+		}
+	}
+	// batch.txt crosses 2 solvable unique pairs (the out-of-range
+	// request fails validation before any solve); the warm run must
+	// read both back instead of solving.
+	warmStats := ""
+	for _, line := range strings.Split(warm.String(), "\n") {
+		if strings.HasPrefix(line, "# engine:") {
+			warmStats = line
+		}
+	}
+	if !strings.Contains(warmStats, "store_hits=2") || !strings.Contains(warmStats, "store_misses=0") {
+		t.Errorf("warm run did not serve from the store: %s", warmStats)
+	}
+	coldStats := ""
+	for _, line := range strings.Split(cold.String(), "\n") {
+		if strings.HasPrefix(line, "# engine:") {
+			coldStats = line
+		}
+	}
+	if !strings.Contains(coldStats, "store_hits=0") || !strings.Contains(coldStats, "store_misses=2") {
+		t.Errorf("cold run counters off: %s", coldStats)
 	}
 }

@@ -63,13 +63,20 @@ const (
 	// answer stays bit-identical, only the routing changes, which is
 	// exactly what the chaos metamorphic suite asserts.
 	PointBanded
+	// PointStore fires when the serving path consults the persistent
+	// kernel store — before a store read on a cache miss and before an
+	// asynchronous store append (latency, error, stall). An injected
+	// fault degrades, never corrupts: a failed read falls through to an
+	// ordinary solve-from-scratch, a failed append skips persisting
+	// that one kernel, and answers stay bit-identical either way.
+	PointStore
 	// NumPoints bounds the Point enum.
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
 	"solve", "solve-finish", "acquire", "publish", "query", "worker",
-	"stream", "banded",
+	"stream", "banded", "store",
 }
 
 func (p Point) String() string {
@@ -144,13 +151,13 @@ func (f Fault) validAt(p Point) bool {
 	case FaultLatency:
 		return true
 	case FaultError:
-		return p == PointSolveStart || p == PointSolveFinish || p == PointStream || p == PointBanded
+		return p == PointSolveStart || p == PointSolveFinish || p == PointStream || p == PointBanded || p == PointStore
 	case FaultCancel:
 		return p == PointAcquire || p == PointQuery
 	case FaultEvict:
 		return p == PointAcquire || p == PointPublish
 	case FaultStall:
-		return p == PointWorker
+		return p == PointWorker || p == PointStore
 	}
 	return false
 }

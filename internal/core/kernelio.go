@@ -54,6 +54,13 @@ func UnmarshalKernel(data []byte) (*Kernel, error) {
 	if m64 > maxLen || n64 > maxLen {
 		return nil, fmt.Errorf("core: unreasonable kernel dimensions %d×%d", m64, n64)
 	}
+	// The order bound comes before the byte-length check so that an
+	// over-order header is reported as such regardless of how much
+	// payload follows it (the store's edge-case tests exercise exactly
+	// the MaxOrder boundary with short bodies).
+	if m64+n64 > MaxOrder {
+		return nil, fmt.Errorf("core: kernel order %d exceeds the int32 limit %d", m64+n64, MaxOrder)
+	}
 	// Each kernel index costs at least one varint byte, so a payload
 	// shorter than m+n cannot possibly be complete. Checking before the
 	// allocation keeps a hostile header (huge claimed dimensions, tiny
@@ -62,9 +69,6 @@ func UnmarshalKernel(data []byte) (*Kernel, error) {
 		return nil, fmt.Errorf("core: kernel encoding holds %d bytes, shorter than the %d declared indices", len(data), m64+n64)
 	}
 	m, n := int(m64), int(n64)
-	if m+n > MaxOrder {
-		return nil, fmt.Errorf("core: kernel order %d exceeds the int32 limit %d", m64+n64, MaxOrder)
-	}
 	rowToCol := make([]int32, m+n)
 	for i := range rowToCol {
 		v, err := next()

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"semilocal/internal/perm"
+)
+
+// The persistent store (internal/store) trusts UnmarshalKernel as its
+// last line of defense: whatever survives the CRC must decode into a
+// valid kernel or be rejected. These tests pin the edges that trust
+// leans on.
+
+// TestKernelIOZeroOrder covers kernels with an empty side: m=0, n=0,
+// and both — all legal (the kernel of an empty string) and all must
+// round-trip.
+func TestKernelIOZeroOrder(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"", ""},
+		{"", "GATTACA"},
+		{"GATTACA", ""},
+	}
+	for _, c := range cases {
+		k, err := Solve([]byte(c.a), []byte(c.b), Config{})
+		if err != nil {
+			t.Fatalf("Solve(%q, %q): %v", c.a, c.b, err)
+		}
+		data, err := k.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalKernel(data)
+		if err != nil {
+			t.Fatalf("(%q, %q): %v", c.a, c.b, err)
+		}
+		if back.M() != len(c.a) || back.N() != len(c.b) {
+			t.Fatalf("(%q, %q): round trip changed dimensions to %d×%d", c.a, c.b, back.M(), back.N())
+		}
+		if back.Score() != k.Score() {
+			t.Fatalf("(%q, %q): round trip changed the score", c.a, c.b)
+		}
+	}
+}
+
+// TestKernelIOMaxOrderBoundary pins the order validation boundary:
+// m+n one past MaxOrder is rejected as an order error even with a tiny
+// body (the check runs before the byte-length check), and m+n exactly
+// at MaxOrder passes the order check — failing later, and cheaply, on
+// the missing payload.
+func TestKernelIOMaxOrderBoundary(t *testing.T) {
+	over := encodeKernel(MaxOrder, 1, nil) // m+n = MaxOrder+1
+	_, err := UnmarshalKernel(over)
+	if err == nil {
+		t.Fatal("order MaxOrder+1 accepted")
+	}
+	if !strings.Contains(err.Error(), "order") {
+		t.Fatalf("order MaxOrder+1: got %q, want an order error", err)
+	}
+	at := encodeKernel(MaxOrder-1, 1, nil) // m+n = MaxOrder exactly
+	_, err = UnmarshalKernel(at)
+	if err == nil {
+		t.Fatal("header-only payload at MaxOrder accepted")
+	}
+	if strings.Contains(err.Error(), "exceeds the int32 limit") {
+		t.Fatalf("order exactly MaxOrder rejected as over-order: %q", err)
+	}
+	if !strings.Contains(err.Error(), "shorter than the") {
+		t.Fatalf("order exactly MaxOrder: got %q, want the byte-length error", err)
+	}
+}
+
+// TestKernelIOTruncationEveryPrefix feeds UnmarshalKernel every strict
+// prefix of several valid encodings: each must be rejected with an
+// error — never a panic, never a silently smaller kernel. This is
+// exactly the input shape a torn store record produces.
+func TestKernelIOTruncationEveryPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	orders := []struct{ m, n int }{{0, 0}, {1, 0}, {3, 4}, {40, 25}, {150, 130}}
+	for _, o := range orders {
+		k := NewKernel(perm.Random(o.m+o.n, rng), o.m, o.n)
+		data, err := k.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := UnmarshalKernel(data); err != nil {
+			t.Fatalf("%d×%d: full encoding rejected: %v", o.m, o.n, err)
+		}
+		for cut := 0; cut < len(data); cut++ {
+			if _, err := UnmarshalKernel(data[:cut]); err == nil {
+				t.Fatalf("%d×%d: prefix of %d/%d bytes accepted", o.m, o.n, cut, len(data))
+			}
+		}
+	}
+}
+
+// FuzzKernelRoundtrip throws arbitrary bytes at UnmarshalKernel. Any
+// input it accepts must describe a valid permutation kernel, and the
+// decode→encode→decode cycle must be semantically stable (dimensions
+// and permutation unchanged). Byte-level canonicity is NOT asserted:
+// non-minimal varints decode fine and re-encode shorter, which is
+// harmless.
+func FuzzKernelRoundtrip(f *testing.F) {
+	rng := rand.New(rand.NewSource(74))
+	for _, o := range []struct{ m, n int }{{0, 0}, {2, 3}, {60, 45}} {
+		k := NewKernel(perm.Random(o.m+o.n, rng), o.m, o.n)
+		data, err := k.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte("SLK1"))
+	f.Add([]byte("SLK2junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := UnmarshalKernel(data)
+		if err != nil {
+			return // rejection is always fine; panics are the bug
+		}
+		if err := k.Permutation().Validate(); err != nil {
+			t.Fatalf("accepted an invalid permutation: %v", err)
+		}
+		if k.Permutation().Size() != k.M()+k.N() {
+			t.Fatalf("accepted order %d for dimensions %d×%d", k.Permutation().Size(), k.M(), k.N())
+		}
+		re, err := k.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of an accepted kernel failed: %v", err)
+		}
+		back, err := UnmarshalKernel(re)
+		if err != nil {
+			t.Fatalf("re-encoded kernel rejected: %v", err)
+		}
+		if back.M() != k.M() || back.N() != k.N() || !back.Permutation().Equal(k.Permutation()) {
+			t.Fatal("decode→encode→decode changed the kernel")
+		}
+	})
+}

@@ -87,6 +87,17 @@ const (
 	// Landau–Vishkin fast path for near-identical inputs), whether it
 	// completed within its band budget or exited early.
 	StageBandedBFS
+	// StageStoreRead is one persistent-store lookup on a cache miss:
+	// the index probe, the disk read, the checksum verification and the
+	// kernel decode, hit or miss.
+	StageStoreRead
+	// StageStoreAppend is one asynchronous persistent-store append: the
+	// kernel encode, the checksummed record write and the fsync. It
+	// runs on the store publisher goroutine, never on a request path.
+	StageStoreAppend
+	// StageStoreCompact is one store compaction pass: rewriting live
+	// records into a fresh log once dead bytes crossed the threshold.
+	StageStoreCompact
 	// NumStages bounds the Stage enum.
 	NumStages
 )
@@ -97,6 +108,7 @@ var stageNames = [NumStages]string{
 	"cache_hit", "cache_miss", "queue_wait", "query", "request",
 	"backoff", "stream_append", "stream_compose",
 	"band_probe", "banded_bfs",
+	"store_read", "store_append", "store_compact",
 }
 
 func (s Stage) String() string {
@@ -169,6 +181,19 @@ const (
 	// banded-eligible load, requests_banded + band_fallbacks accounts
 	// for every eligible request (the soak test pins this).
 	CounterBandFallbacks
+	// CounterStoreHits counts cache misses answered by the persistent
+	// kernel store instead of a solve.
+	CounterStoreHits
+	// CounterStoreMisses counts cache misses the store could not answer
+	// (absent, corrupt, or faulted by chaos) that went on to solve.
+	CounterStoreMisses
+	// CounterStoreAppends counts kernels durably appended to the
+	// persistent store by the background publisher.
+	CounterStoreAppends
+	// CounterStoreCorrupt counts store records that failed their
+	// checksum (at open-scan or read time) — detected, skipped, and
+	// never served.
+	CounterStoreCorrupt
 	// NumCounters bounds the CounterID enum.
 	NumCounters
 )
@@ -179,6 +204,7 @@ var counterNames = [NumCounters]string{
 	"retries", "sheds", "degradations", "faults_injected",
 	"appends_total", "compositions_total",
 	"requests_banded", "band_fallbacks",
+	"store_hits", "store_misses", "store_appends", "store_corrupt_records",
 }
 
 func (c CounterID) String() string {

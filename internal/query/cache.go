@@ -55,11 +55,15 @@ type shard struct {
 }
 
 // cache is the sharded LRU session cache with singleflight dedup.
+// When a persistent store tier is attached, it sits under the LRU as a
+// write-through second tier: the singleflight spans both tiers, so at
+// most one goroutine per key reads the store or solves.
 type cache struct {
 	shards []*shard
 	solve  func(a, b []byte, cfg core.Config) (*core.Kernel, error)
 	rec    *obs.Recorder
 	inj    *chaos.Injector
+	tier   *storeTier // nil when no persistent store is configured
 
 	hits      *stats.Counter // request served by a resident session
 	misses    *stats.Counter // request started a solve
@@ -68,7 +72,7 @@ type cache struct {
 	bytes     *stats.Counter // resident session bytes (gauge)
 }
 
-func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder, inj *chaos.Injector) *cache {
+func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder, inj *chaos.Injector, tier *storeTier) *cache {
 	if shards < 1 {
 		shards = 1
 	}
@@ -82,6 +86,7 @@ func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder, inj 
 		solve:     core.Solve,
 		rec:       rec,
 		inj:       inj,
+		tier:      tier,
 		hits:      reg.Counter("cache_hits"),
 		misses:    reg.Counter("cache_misses"),
 		deduped:   reg.Counter("cache_deduped"),
@@ -174,16 +179,28 @@ func (c *cache) acquire(ctx context.Context, key cacheKey) (*Session, error) {
 	}
 }
 
-// runFlight performs one solve, publishes the session into the shard's
-// LRU (evicting past capacity), and releases every waiter.
+// runFlight fills one flight — from the persistent store when it holds
+// the kernel, by solving otherwise — publishes the session into the
+// shard's LRU (evicting past capacity), and releases every waiter.
+// Kernels are config-invariant (every algorithm produces bit-identical
+// kernels; the store differential suite pins this), so a store hit is
+// valid for any key.cfg, and a solved kernel is published to the store
+// keyed by content alone.
 func (c *cache) runFlight(sh *shard, key cacheKey, fl *flight) {
-	k, err := c.solve([]byte(key.a), []byte(key.b), key.cfg)
-	if err == nil {
+	k := c.tier.lookup(key.a, key.b)
+	if k == nil {
+		var err error
+		k, err = c.solve([]byte(key.a), []byte(key.b), key.cfg)
+		if err != nil {
+			fl.err = err
+		} else {
+			c.tier.publish(key.a, key.b, k)
+		}
+	}
+	if k != nil {
 		psp := c.rec.Start(obs.StagePrepare)
 		fl.sess = NewSession(k)
 		psp.End()
-	} else {
-		fl.err = err
 	}
 
 	storm := false

@@ -12,6 +12,7 @@ import (
 	"semilocal/internal/obs"
 	"semilocal/internal/parallel"
 	"semilocal/internal/stats"
+	"semilocal/internal/store"
 )
 
 // RetryPolicy configures automatic re-solving of transient failures
@@ -96,6 +97,14 @@ type Options struct {
 	// internal/chaos). nil — the production configuration — disables
 	// injection entirely at zero cost.
 	Chaos *chaos.Injector
+	// Store, when non-nil, backs the cache with the persistent kernel
+	// store as a write-through second tier: cache misses consult the
+	// store before solving, and solved kernels are appended
+	// asynchronously off the request path. The engine does not own the
+	// store — open it with store.Open, close the engine first (Close
+	// drains pending appends), then close the store. nil (the default)
+	// keeps the serving path purely in-memory at zero extra cost.
+	Store *store.Store
 	// Banded turns on the banded diagonal-BFS fast path for distance-only
 	// (Score) requests: a cheap divergence probe routes near-identical
 	// pairs around kernel construction entirely, falling back to the full
@@ -116,6 +125,7 @@ const (
 // are safe for concurrent use; Close releases the pool.
 type Engine struct {
 	cache  *cache
+	tier   *storeTier // nil without a persistent store
 	pool   *parallel.Pool
 	cfg    core.Config
 	reg    *stats.Registry
@@ -160,8 +170,10 @@ func NewEngine(opts Options) *Engine {
 	if maxKernels == 0 {
 		maxKernels = DefaultMaxKernels
 	}
+	tier := newStoreTier(opts.Store, reg, opts.Obs, opts.Chaos)
 	e := &Engine{
-		cache:        newCache(shards, maxKernels, reg, opts.Obs, opts.Chaos),
+		cache:        newCache(shards, maxKernels, reg, opts.Obs, opts.Chaos, tier),
+		tier:         tier,
 		pool:         parallel.NewPool(opts.Workers),
 		cfg:          opts.Config,
 		reg:          reg,
@@ -189,13 +201,16 @@ func NewEngine(opts Options) *Engine {
 // disabled). Snapshot it for breakdowns or metrics exposition.
 func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
-// Close stops the engine's workers. The engine must not be used
-// afterwards; BatchSolve and Acquire on a closed engine return an error.
+// Close stops the engine's workers and drains the persistent-store
+// append queue (every kernel published before Close is durable when it
+// returns). The engine must not be used afterwards; BatchSolve and
+// Acquire on a closed engine return an error.
 func (e *Engine) Close() {
 	if e.closed.Swap(true) {
 		return
 	}
 	e.pool.Close()
+	e.tier.close()
 }
 
 // Stats returns a snapshot of the engine's counters: cache_hits,

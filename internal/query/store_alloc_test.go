@@ -1,0 +1,75 @@
+//go:build !race
+
+// The persistent-store half of the zero-allocation guard: attaching a
+// store must cost nothing on the cached fast path (an LRU hit never
+// consults disk), and the steady-state store read itself must stay
+// within a small fixed allocation budget.
+package query
+
+import (
+	"context"
+	"testing"
+
+	"semilocal/internal/benchkit"
+	"semilocal/internal/core"
+	"semilocal/internal/store"
+)
+
+// TestStoreAttachedHitPathAllocParity: a warmed cache hit performs the
+// same number of allocations whether or not a store backs the cache —
+// the second tier only exists on the miss path.
+func TestStoreAttachedHitPathAllocParity(t *testing.T) {
+	a, b := []byte("gattacagattaca"), []byte("tacatacatacata")
+	ctx := context.Background()
+
+	measure := func(opts Options) float64 {
+		e := NewEngine(opts)
+		defer e.Close()
+		reqs := []Request{{A: a, B: b, Kind: Score}}
+		if res := e.BatchSolve(ctx, reqs); res[0].Err != nil { // warm the cache
+			t.Fatal(res[0].Err)
+		}
+		return testing.AllocsPerRun(1000, func() {
+			if res := e.BatchSolve(ctx, reqs); res[0].Err != nil {
+				t.Fatal(res[0].Err)
+			}
+		})
+	}
+	plain := measure(Options{})
+	st, err := store.Open(t.TempDir(), store.Config{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	backed := measure(Options{Store: st})
+	if backed != plain {
+		t.Fatalf("store-backed cached batch allocates %v per run vs %v plain; the hit path must not touch the store", backed, plain)
+	}
+}
+
+// TestStoreSteadyStateGetAllocBound: once a record is resident, Get is
+// a ReadAt into fresh buffers plus the kernel decode — a handful of
+// allocations proportional to nothing but the record itself. The bound
+// is deliberately loose against Go-version drift but tight enough to
+// catch an accidental per-read copy of the index or log.
+func TestStoreSteadyStateGetAllocBound(t *testing.T) {
+	a, b := []byte("mississippi"), []byte("missouri river basin")
+	k, err := core.Solve(a, b, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Config{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	key := store.KeyOf(a, b)
+	if err := st.Put(key, k); err != nil {
+		t.Fatal(err)
+	}
+	benchkit.AssertMaxAllocs(t, "store.Get steady state", 8, 200, func() {
+		if _, err := st.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"semilocal/internal/core"
+)
+
+// The restart benchmarks quantify what the store buys: a cold start
+// pays the full semi-local solve for every kernel it needs, a warm
+// start pays an open scan amortised across the log plus one read and
+// decode per kernel. See EXPERIMENTS.md for recorded numbers and
+// methodology.
+
+const benchOrder = 2048 // per side; kernel order m+n = 4096
+
+func benchPair(b *testing.B) (x, y []byte) {
+	rng := rand.New(rand.NewSource(4242))
+	return testPair(rng, benchOrder, benchOrder)
+}
+
+// BenchmarkColdStart: the price of answering without a store — solve
+// the kernel from scratch.
+func BenchmarkColdStart(b *testing.B) {
+	x, y := benchPair(b)
+	b.SetBytes(int64(len(x) + len(y)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(x, y, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmStart: the price of answering from a persisted kernel —
+// open the store (scan included), read and decode the record, close.
+// This is the full restart path, not just the read.
+func BenchmarkWarmStart(b *testing.B) {
+	x, y := benchPair(b)
+	dir := b.TempDir()
+	st := openT(b, dir, Config{NoSync: true})
+	k, err := core.Solve(x, y, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := KeyOf(x, y)
+	if err := st.Put(key, k); err != nil {
+		b.Fatal(err)
+	}
+	st.Close()
+	b.SetBytes(int64(len(x) + len(y)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Open(dir, Config{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Get(key); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+}
+
+// BenchmarkWarmGet isolates the steady-state read: store already open,
+// one Get per iteration (ReadAt + CRC + kernel decode).
+func BenchmarkWarmGet(b *testing.B) {
+	x, y := benchPair(b)
+	st := openT(b, b.TempDir(), Config{NoSync: true})
+	defer st.Close()
+	k, err := core.Solve(x, y, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := KeyOf(x, y)
+	if err := st.Put(key, k); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(x) + len(y)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppend: the write half — one fsync-free Put per iteration
+// into a growing log (NoSync so the number measures the code path, not
+// the disk; production appends add one fdatasync each).
+func BenchmarkAppend(b *testing.B) {
+	x, y := benchPair(b)
+	st := openT(b, b.TempDir(), Config{NoSync: true})
+	defer st.Close()
+	k, err := core.Solve(x, y, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := KeyOf(x, y)
+	b.SetBytes(int64(len(x) + len(y)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Put(key, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"semilocal/internal/lcs"
 	"semilocal/internal/obs"
 	"semilocal/internal/query"
+	"semilocal/internal/store"
 	"semilocal/internal/stream"
 )
 
@@ -370,4 +371,56 @@ const (
 	StageBandedBFS        = obs.StageBandedBFS        // one banded diagonal-BFS solve
 	CounterBandedRequests = obs.CounterBandedRequests // requests_banded
 	CounterBandFallbacks  = obs.CounterBandFallbacks  // band_fallbacks
+)
+
+// Persistent kernel store: a crash-safe, content-hash-keyed append log
+// of solved kernels on disk, backing the engine's LRU cache as a
+// write-through second tier. Restarts and new replicas start warm —
+// cache misses consult the store before paying for a solve, and
+// freshly solved kernels are appended asynchronously with per-record
+// CRC-32C checksums and fsync durability. Corrupt or torn records are
+// detected, skipped and counted on open; nothing corrupt is ever
+// served. See internal/store for the record format and recovery
+// semantics.
+
+// KernelStore is an open on-disk kernel store. Open one with
+// OpenStore, attach it via EngineOptions.Store, and close it after the
+// engine (Engine.Close drains the pending appends first).
+type KernelStore = store.Store
+
+// StoreConfig tunes OpenStore; the zero value is valid (fsync'd
+// appends, default compaction thresholds).
+type StoreConfig = store.Config
+
+// ErrStoreNotFound and ErrStoreCorrupt classify KernelStore.Get
+// failures: an absent key versus a record that failed its checksum or
+// decode (the record is dropped and counted, never returned).
+var (
+	ErrStoreNotFound = store.ErrNotFound
+	ErrStoreCorrupt  = store.ErrCorrupt
+)
+
+// OpenStore opens (creating if needed) a persistent kernel store in
+// dir, rebuilding its index by scanning the log and truncating any
+// torn tail left by a crash.
+func OpenStore(dir string, cfg StoreConfig) (*KernelStore, error) {
+	return store.Open(dir, cfg)
+}
+
+// StoreKeyOf derives the content hash under which the kernel of
+// (a, b) is stored — SHA-256 over the length-prefixed pair. Kernels
+// are config-invariant, so the key excludes the solve configuration.
+func StoreKeyOf(a, b []byte) store.Key {
+	return store.KeyOf(a, b)
+}
+
+// Store stages and counters for StageRecorder consumers.
+const (
+	StageStoreRead      = obs.StageStoreRead      // one store lookup on a cache miss
+	StageStoreAppend    = obs.StageStoreAppend    // one background store append
+	StageStoreCompact   = obs.StageStoreCompact   // one compaction pass
+	CounterStoreHits    = obs.CounterStoreHits    // store_hits
+	CounterStoreMisses  = obs.CounterStoreMisses  // store_misses
+	CounterStoreAppends = obs.CounterStoreAppends // store_appends
+	CounterStoreCorrupt = obs.CounterStoreCorrupt // store_corrupt_records
 )
