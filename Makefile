@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race test-race check check-obs check-chaos check-stream check-banded check-store bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
+.PHONY: all build test race test-race check check-obs check-chaos check-stream check-banded check-store check-server bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -88,6 +88,18 @@ check-store:
 	go test -run 'TestStore|TestKernelIO' ./internal/store ./internal/query ./internal/core
 	go test -fuzz FuzzStoreOpen -fuzztime 10s ./internal/store
 
+# Serving-tier lane: the sharded HTTP serving tier end to end under
+# the race detector — the differential wall (HTTP answers bit-identical
+# to direct engine calls for every query family, including under
+# benign chaos), the consistent-hash ring property tests (balance,
+# minimal movement on add/remove), the shard-kill degradation drills,
+# tenant-quota admission, the 8-client live-server soak with quiescent
+# counter exactness, the CLI -serve-addr e2e and flag-rule tests, the
+# loadgen harness smoke, and a fuzz smoke of the request decoder.
+check-server:
+	go test -race ./internal/server ./internal/query ./cmd/semilocal ./cmd/loadgen
+	go test -fuzz FuzzServerRequest -fuzztime 10s ./internal/server
+
 bench:
 	go test -bench=. -benchmem ./...
 
@@ -97,6 +109,7 @@ bench:
 # hot path should not (inspect with -benchmem locally).
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./...
+	go run ./cmd/loadgen -shards 2 -clients 4 -duration 1s -hot 8 -size 128
 
 # Regenerate every figure of the paper at moderate sizes.
 figures:
@@ -125,6 +138,7 @@ fuzz:
 	go test -fuzz FuzzBandedDistance -fuzztime 30s ./internal/banded
 	go test -fuzz FuzzKernelRoundtrip -fuzztime 30s ./internal/core
 	go test -fuzz FuzzStoreOpen -fuzztime 30s ./internal/store
+	go test -fuzz FuzzServerRequest -fuzztime 30s ./internal/server
 
 # Ten-second smoke pass per target — quick enough for CI, long enough to
 # mutate beyond the checked-in seed corpora under testdata/fuzz.
@@ -139,3 +153,4 @@ fuzz-smoke:
 	go test -fuzz FuzzBandedDistance -fuzztime 10s ./internal/banded
 	go test -fuzz FuzzKernelRoundtrip -fuzztime 10s ./internal/core
 	go test -fuzz FuzzStoreOpen -fuzztime 10s ./internal/store
+	go test -fuzz FuzzServerRequest -fuzztime 10s ./internal/server

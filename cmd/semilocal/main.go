@@ -132,6 +132,9 @@ func run(args []string, out io.Writer) error {
 	bandedMode := fs.Bool("banded", false, "route distance-only work through the banded diagonal-BFS fast path (score subcommand and -serve-batch)")
 	bandMaxK := fs.Int("band-max-k", 0, "with -banded: edit budget of the band (0 = derive from the measured crossover)")
 	storeDir := fs.String("store-dir", "", "with -serve-batch: back the kernel cache with a persistent on-disk store in this directory (crash-safe, shared across runs)")
+	serveAddr := fs.String("serve-addr", "", "run the sharded HTTP serving tier on this address (e.g. :8080) until SIGINT/SIGTERM; the engine flags apply per shard")
+	shards := fs.Int("shards", 0, "with -serve-addr: engine shard count behind the consistent-hash ring (0 = 1)")
+	tenantQuota := fs.Int("tenant-quota", 0, "with -serve-addr: per-tenant bound on outstanding requests across the tier (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -154,10 +157,13 @@ func run(args []string, out io.Writer) error {
 		"-degrade-below": *degradeBelow != 0,
 		"-chaos":         *chaosSpec != "",
 		"-store-dir":     *storeDir != "",
+		"-serve-addr":    *serveAddr != "",
+		"-shards":        *shards != 0,
+		"-tenant-quota":  *tenantQuota != 0,
 	}); err != nil {
 		return err
 	}
-	if *batch != "" || *streamFile != "" {
+	if *batch != "" || *streamFile != "" || *serveAddr != "" {
 		opts := batchOptions{
 			algorithm:    algorithm,
 			workers:      *workers,
@@ -179,6 +185,9 @@ func run(args []string, out io.Writer) error {
 			}
 			opts.chaosRules = rules
 			opts.chaosSeed = *chaosSeed
+		}
+		if *serveAddr != "" {
+			return runServe(*serveAddr, *shards, *tenantQuota, opts, out)
 		}
 		if *batch != "" {
 			return runBatch(*batch, opts, out)
@@ -241,16 +250,19 @@ type flagRule struct {
 // of being scattered through the mode dispatch.
 var flagRules = []flagRule{
 	{flag: "-stream", conflicts: []string{"-serve-batch", "-edit", "-banded", "-max-queue"}},
+	{flag: "-serve-addr", conflicts: []string{"-serve-batch", "-stream", "-edit", "-trace-stages", "-metrics"}},
 	{flag: "-trace-stages", conflicts: []string{"-edit"}},
 	{flag: "-band-max-k", requiresAny: []string{"-banded"}},
-	{flag: "-max-queue", requiresAny: []string{"-serve-batch"}},
+	{flag: "-max-queue", requiresAny: []string{"-serve-batch", "-serve-addr"}},
 	{flag: "-metrics", requiresAny: []string{"-serve-batch", "-stream"}},
-	{flag: "-retries", requiresAny: []string{"-serve-batch", "-stream"}},
-	{flag: "-retry-backoff", requiresAny: []string{"-serve-batch", "-stream"}},
-	{flag: "-deadline", requiresAny: []string{"-serve-batch", "-stream"}},
-	{flag: "-degrade-below", requiresAny: []string{"-serve-batch", "-stream"}},
-	{flag: "-chaos", requiresAny: []string{"-serve-batch", "-stream"}},
-	{flag: "-store-dir", requiresAny: []string{"-serve-batch"}},
+	{flag: "-retries", requiresAny: []string{"-serve-batch", "-stream", "-serve-addr"}},
+	{flag: "-retry-backoff", requiresAny: []string{"-serve-batch", "-stream", "-serve-addr"}},
+	{flag: "-deadline", requiresAny: []string{"-serve-batch", "-stream", "-serve-addr"}},
+	{flag: "-degrade-below", requiresAny: []string{"-serve-batch", "-stream", "-serve-addr"}},
+	{flag: "-chaos", requiresAny: []string{"-serve-batch", "-stream", "-serve-addr"}},
+	{flag: "-store-dir", requiresAny: []string{"-serve-batch", "-serve-addr"}},
+	{flag: "-shards", requiresAny: []string{"-serve-addr"}},
+	{flag: "-tenant-quota", requiresAny: []string{"-serve-addr"}},
 }
 
 // validateFlags evaluates the rule table against the set of flags the

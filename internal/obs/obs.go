@@ -98,6 +98,14 @@ const (
 	// StageStoreCompact is one store compaction pass: rewriting live
 	// records into a fresh log once dead bytes crossed the threshold.
 	StageStoreCompact
+	// StageServerRequest is one HTTP serving-tier request end to end:
+	// decode, tenant admission, shard routing, the per-shard engine
+	// batches, and response encoding.
+	StageServerRequest
+	// StageServerRoute is the shard-routing step of one serving-tier
+	// request: the content-hash ring lookup plus any chaos- or
+	// health-driven walk to a successor shard.
+	StageServerRoute
 	// NumStages bounds the Stage enum.
 	NumStages
 )
@@ -109,6 +117,7 @@ var stageNames = [NumStages]string{
 	"backoff", "stream_append", "stream_compose",
 	"band_probe", "banded_bfs",
 	"store_read", "store_append", "store_compact",
+	"server_request", "server_route",
 }
 
 func (s Stage) String() string {
@@ -194,6 +203,16 @@ const (
 	// checksum (at open-scan or read time) — detected, skipped, and
 	// never served.
 	CounterStoreCorrupt
+	// CounterServerRequests counts requests accepted by the sharded
+	// serving tier's network API (batch requests and stream ops alike).
+	CounterServerRequests
+	// CounterServerReroutes counts requests routed away from their home
+	// shard because it was killed by chaos or marked unhealthy — the
+	// degraded-not-failed path of the tier.
+	CounterServerReroutes
+	// CounterTenantRejects counts requests rejected by per-tenant quota
+	// admission before touching any shard.
+	CounterTenantRejects
 	// NumCounters bounds the CounterID enum.
 	NumCounters
 )
@@ -205,6 +224,7 @@ var counterNames = [NumCounters]string{
 	"appends_total", "compositions_total",
 	"requests_banded", "band_fallbacks",
 	"store_hits", "store_misses", "store_appends", "store_corrupt_records",
+	"server_requests", "server_reroutes", "tenant_rejects",
 }
 
 func (c CounterID) String() string {

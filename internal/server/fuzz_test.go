@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"semilocal/internal/query"
+)
+
+// fuzzServer is the one hardened tier instance the fuzz target hammers:
+// tight limits so fuzzer-crafted inputs can never buy unbounded
+// Θ(m·n) solves, and a quota so the admission path is exercised too.
+// Go fuzz workers are separate processes, each driving the target
+// sequentially, so sharing one server per process is safe.
+func fuzzServer(f *testing.F) *Server {
+	f.Helper()
+	s, err := New(Config{
+		Shards:       3,
+		TenantQuota:  4,
+		MaxBodyBytes: 64 << 10,
+		MaxBatch:     16,
+		MaxPairBytes: 256,
+		Engine:       query.Options{MaxKernels: 4},
+	})
+	if err != nil {
+		f.Fatalf("New: %v", err)
+	}
+	f.Cleanup(s.Close)
+	return s
+}
+
+// FuzzServerRequest throws arbitrary bodies at both POST endpoints and
+// pins the tier's crash-safety contract: the handler never panics,
+// never answers 5xx, always answers JSON, and a 200 batch response
+// keeps request/result alignment with a known error-kind taxonomy.
+// The seed corpus under testdata/fuzz covers the adversarial request
+// shapes (malformed JSON, unknown fields, trailing garbage, oversized
+// fields, bad tenants, ambiguous encodings) and is replayed by every
+// plain `go test` run.
+func FuzzServerRequest(f *testing.F) {
+	seeds := []struct {
+		body   string
+		stream bool
+	}{
+		{`{"requests":[{"a":"abc","b":"abd","kind":"score"}]}`, false},
+		{`{"tenant":"alice","requests":[{"a":"x","b":"y","kind":"best-window","width":2}]}`, false},
+		{`{"requests":[{"a64":"AAECwP8=","b64":"/8AAAQ==","kind":"windows","width":1}]}`, false},
+		{`{"requests":[{"a":"x","a64":"eA==","b":"y","kind":"score"}]}`, false},
+		{`{"requests":[{"kind":"no-such-kind"}]}`, false},
+		{`{"requests":[{"kind":"score","timeout_ms":-5}]}`, false},
+		{`{"requests": [`, false},
+		{`{"requestz": []}`, false},
+		{`{"requests": []} trailing`, false},
+		{`{"tenant":"bad tenant!","requests":[]}`, false},
+		{`null`, false},
+		{`[]`, false},
+		{`{"pattern":"abc","ops":[{"op":"append","chunk":"defg"},{"op":"query","kind":"score"}]}`, true},
+		{`{"pattern":"abc","ops":[{"op":"slide","n":-3}]}`, true},
+		{`{"pattern":"abc","ops":[{"op":"rewind"}]}`, true},
+		{`{"pattern64":"not base64!!","ops":[]}`, true},
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s.body), s.stream)
+	}
+	srv := fuzzServer(f)
+	knownKinds := map[string]bool{
+		"": true, "shed": true, "quota": true, "closed": true, "too_large": true,
+		"unavailable": true, "deadline": true, "canceled": true, "injected": true, "invalid": true,
+	}
+	f.Fuzz(func(t *testing.T, body []byte, stream bool) {
+		path := "/v1/batch"
+		if stream {
+			path = "/v1/stream"
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+
+		if rec.Code >= 500 {
+			t.Fatalf("5xx (%d) for body %q", rec.Code, body)
+		}
+		raw := rec.Body.Bytes()
+		if !json.Valid(raw) {
+			t.Fatalf("non-JSON response %q for body %q", raw, body)
+		}
+		if rec.Code != http.StatusOK {
+			var eb errorBody
+			if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("%d response without error body: %q", rec.Code, raw)
+			}
+			return
+		}
+		if stream {
+			var resp StreamResponse
+			if err := json.Unmarshal(raw, &resp); err != nil {
+				t.Fatalf("200 stream response undecodable: %v", err)
+			}
+			for _, r := range resp.Results {
+				if !knownKinds[r.ErrorKind] {
+					t.Fatalf("unknown stream error kind %q", r.ErrorKind)
+				}
+			}
+			return
+		}
+		var br BatchRequest
+		var resp BatchResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("200 batch response undecodable: %v", err)
+		}
+		// The request decoded (we got a 200), so alignment must hold.
+		if err := decodeJSON(bytes.NewReader(body), &br); err == nil {
+			if len(resp.Results) != len(br.Requests) {
+				t.Fatalf("alignment broken: %d requests, %d results", len(br.Requests), len(resp.Results))
+			}
+		}
+		for _, r := range resp.Results {
+			if !knownKinds[r.ErrorKind] {
+				t.Fatalf("unknown batch error kind %q", r.ErrorKind)
+			}
+			if r.Error == "" && r.ErrorKind != "" {
+				t.Fatalf("error kind %q without error text", r.ErrorKind)
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"semilocal/internal/store"
+)
+
+// ring is a consistent-hash ring mapping kernel-cache keys
+// (store.KeyOf content hashes) to engine shards. Each shard owns
+// `vnodes` points on a 64-bit circle; a key belongs to the shard owning
+// the first point clockwise of the key's hash. Adding or removing a
+// shard therefore moves only the keys in the arcs its points cover —
+// the minimal-movement property the ring_test suite pins — while the
+// vnode fan-out keeps per-shard load balanced.
+//
+// The ring is immutable after construction from the router's point of
+// view; add/remove return fresh rings (they exist for rebalancing and
+// for the property tests). Lookups are a binary search over a sorted
+// point slice — no locks, safe for concurrent use.
+type ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash ascending
+}
+
+// ringPoint is one virtual node: a position on the circle owned by a
+// shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// defaultVnodes is the per-shard virtual-node count. 128 points per
+// shard keeps the max/mean load ratio within ~1.3× for uniform keys
+// (the balance property test pins a conservative bound).
+const defaultVnodes = 128
+
+// newRing builds a ring over shards 0..shards-1.
+func newRing(shards, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &ring{vnodes: vnodes}
+	for s := 0; s < shards; s++ {
+		r.points = append(r.points, vnodePoints(s, vnodes)...)
+	}
+	r.sortPoints()
+	return r
+}
+
+// vnodePoints returns shard s's virtual nodes. splitmix64 is a
+// bijection, so distinct (shard, replica) inputs can never collide on
+// the circle.
+func vnodePoints(s, vnodes int) []ringPoint {
+	pts := make([]ringPoint, vnodes)
+	for v := 0; v < vnodes; v++ {
+		pts[v] = ringPoint{hash: splitmix64(uint64(s)<<24 | uint64(v)), shard: s}
+	}
+	return pts
+}
+
+func (r *ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// add returns a new ring with shard s's virtual nodes inserted.
+func (r *ring) add(s int) *ring {
+	out := &ring{vnodes: r.vnodes, points: make([]ringPoint, 0, len(r.points)+r.vnodes)}
+	out.points = append(out.points, r.points...)
+	out.points = append(out.points, vnodePoints(s, r.vnodes)...)
+	out.sortPoints()
+	return out
+}
+
+// remove returns a new ring without shard s's virtual nodes.
+func (r *ring) remove(s int) *ring {
+	out := &ring{vnodes: r.vnodes, points: make([]ringPoint, 0, len(r.points))}
+	for _, p := range r.points {
+		if p.shard != s {
+			out.points = append(out.points, p)
+		}
+	}
+	return out
+}
+
+// keyHash positions a kernel-cache key on the circle. The key is a
+// SHA-256 content hash, so its first eight bytes are already uniform.
+func keyHash(k store.Key) uint64 {
+	return binary.BigEndian.Uint64(k[:8])
+}
+
+// lookup returns the home shard of key k: the owner of the first
+// virtual node at or clockwise of the key's position.
+func (r *ring) lookup(k store.Key) int {
+	return r.points[r.at(keyHash(k))].shard
+}
+
+// at returns the index of the first point with hash ≥ h, wrapping to 0.
+func (r *ring) at(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// walk calls visit with each distinct shard clockwise of key k — the
+// home shard first, then the failover successors — until visit returns
+// true (the shard was usable) or every shard was offered. It returns
+// the accepted shard and true, or -1 and false when visit rejected all
+// of them. The walk allocates nothing for the common case of the home
+// shard being healthy.
+func (r *ring) walk(k store.Key, visit func(shard int) bool) (int, bool) {
+	start := r.at(keyHash(k))
+	n := len(r.points)
+	var seen uint64 // shard-id bitmap; shards are small dense ints
+	for off := 0; off < n; off++ {
+		s := r.points[(start+off)%n].shard
+		if s < 64 {
+			if seen&(1<<uint(s)) != 0 {
+				continue
+			}
+			seen |= 1 << uint(s)
+		}
+		if visit(s) {
+			return s, true
+		}
+	}
+	return -1, false
+}
+
+// shards returns the distinct shard ids on the ring, ascending.
+func (r *ring) shards() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range r.points {
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// splitmix64 is the standard 64-bit finalizing mixer (Vigna) — the
+// same full-avalanche hash the chaos injector uses for per-arrival
+// decisions, reused here to scatter (shard, replica) pairs over the
+// circle.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -31,6 +31,7 @@ import (
 	"semilocal/internal/lcs"
 	"semilocal/internal/obs"
 	"semilocal/internal/query"
+	"semilocal/internal/server"
 	"semilocal/internal/store"
 	"semilocal/internal/stream"
 )
@@ -423,4 +424,49 @@ const (
 	CounterStoreMisses  = obs.CounterStoreMisses  // store_misses
 	CounterStoreAppends = obs.CounterStoreAppends // store_appends
 	CounterStoreCorrupt = obs.CounterStoreCorrupt // store_corrupt_records
+)
+
+// Network serving tier: N engine shards behind consistent hashing on
+// the kernel-cache content key, fronted by an HTTP/JSON API (batch
+// solves and query families on /v1/batch, streaming op scripts on
+// /v1/stream, Prometheus text on /metrics, liveness on /healthz).
+// Because kernels are config-invariant, every shard answers every pair
+// identically — a killed or drained shard degrades cache locality,
+// never correctness. Per-tenant quotas layer in front of the per-shard
+// MaxQueue/Deadline/retry/shed machinery, and cmd/loadgen drives the
+// tier closed-loop for latency-SLO reports. See internal/server and
+// cmd/semilocal's -serve-addr mode.
+
+// Server is the sharded HTTP serving tier over the batch query engine.
+type Server = server.Server
+
+// ServerConfig configures NewServer; the zero value runs one shard
+// with default limits.
+type ServerConfig = server.Config
+
+// ServerBatchRequest / ServerBatchResponse and the other wire types of
+// the HTTP API live in internal/server; the stable JSON shapes are
+// documented there and pinned by its differential test wall.
+type ServerBatchRequest = server.BatchRequest
+type ServerBatchResponse = server.BatchResponse
+type ServerWireRequest = server.WireRequest
+type ServerWireResult = server.WireResult
+
+// ErrTenantQuota is the typed per-tenant admission rejection of the
+// serving tier — the multi-tenant sibling of ErrShed.
+var ErrTenantQuota = server.ErrTenantQuota
+
+// NewServer builds the sharded serving tier; expose Handler through an
+// http.Server and Close the tier on shutdown.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	return server.New(cfg)
+}
+
+// Serving-tier stages and counters for StageRecorder consumers.
+const (
+	StageServerRequest    = obs.StageServerRequest    // one HTTP call end to end
+	StageServerRoute      = obs.StageServerRoute      // ring lookup + failover walk
+	CounterServerRequests = obs.CounterServerRequests // server_requests
+	CounterServerReroutes = obs.CounterServerReroutes // server_reroutes
+	CounterTenantRejects  = obs.CounterTenantRejects  // tenant_rejects
 )
