@@ -24,7 +24,7 @@ func init() {
 func ablate16(c *cfg) {
 	t := benchkit.NewTable("length", "antidiag_32bit", "antidiag_16bit", "speedup")
 	for i, n := range c.combLens {
-		if 2*n > combing.Max16 {
+		if !combing.Fits16(n, n) {
 			continue
 		}
 		a := dataset.Normal(n, 1, c.seed+int64(i))

@@ -75,6 +75,7 @@ func runServe(addr string, shards, tenantQuota int, opts batchOptions, out io.Wr
 			Chaos:        inj,
 			Banded:       semilocal.BandedConfig{Enabled: opts.banded, MaxK: opts.bandMaxK},
 			Store:        kstore,
+			Tuning:       opts.tuning,
 		},
 	})
 	if err != nil {

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"semilocal"
+)
+
+// TestGoldenProfile pins the -profile mode's deterministic output: the
+// loaded-profile banner plus the unchanged answers (tuning routes code
+// paths, never results), and the exact fallback message on a profile
+// from a foreign schema.
+func TestGoldenProfile(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"profile-score", []string{"-profile", filepath.Join("testdata", "profile.json"),
+			"-a-text", "GATTACA", "-b-text", "TACGATTACA", "score"}},
+		{"profile-windows", []string{"-profile", filepath.Join("testdata", "profile.json"),
+			"-a-text", "GATTACA", "-b-text", "TACGATTACA", "windows", "-width", "5", "-top", "3"}},
+		{"profile-fallback-score", []string{"-profile", filepath.Join("testdata", "profile-corrupt.json"),
+			"-a-text", "GATTACA", "-b-text", "TACGATTACA", "score"}},
+		{"profile-serve-batch", []string{"-serve-batch", filepath.Join("testdata", "batch.txt"),
+			"-profile", filepath.Join("testdata", "profile.json"), "-workers", "1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			goldenCompare(t, tc.name, buf.String())
+		})
+	}
+}
+
+// TestCalibrateEndToEnd runs the real calibration (tiny grid) through
+// the CLI, then consumes the written profile in a second invocation —
+// the full calibrate → persist → load → solve loop as a user would run
+// it.
+func TestCalibrateEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-calibrate", path, "-tiny-grid"}, &buf); err != nil {
+		t.Fatalf("calibrate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "profile written to "+path) {
+		t.Fatalf("calibration did not announce the profile:\n%s", buf.String())
+	}
+	prof, err := semilocal.LoadProfile(path)
+	if err != nil {
+		t.Fatalf("written profile does not load: %v", err)
+	}
+	if prof.Workers < 1 || prof.BitVersion == "" {
+		t.Fatalf("calibrated profile incomplete: %+v", prof)
+	}
+
+	var scored bytes.Buffer
+	if err := run([]string{"-profile", path, "-a-text", "ABCABBA", "-b-text", "CBABAC", "score"}, &scored); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scored.String(), "# profile: loaded "+path) {
+		t.Fatalf("profile not loaded:\n%s", scored.String())
+	}
+	if !strings.Contains(scored.String(), "LCS = 4") {
+		t.Fatalf("tuned solve changed the answer:\n%s", scored.String())
+	}
+}
+
+// TestTuneFlagRules: calibration and profile flags obey the cross-flag
+// rule table.
+func TestTuneFlagRules(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"calibrate+serve-batch", []string{"-calibrate", "/nope", "-serve-batch", "/nope"}, "-calibrate cannot be combined with -serve-batch"},
+		{"calibrate+stream", []string{"-calibrate", "/nope", "-a-text", "AB", "-stream", "/nope"}, "cannot be combined"},
+		{"calibrate+edit", []string{"-calibrate", "/nope", "-edit"}, "-calibrate cannot be combined with -edit"},
+		{"calibrate+banded", []string{"-calibrate", "/nope", "-banded"}, "-calibrate cannot be combined with -banded"},
+		{"calibrate+profile", []string{"-calibrate", "/nope", "-profile", "/nope"}, "-calibrate cannot be combined with -profile"},
+		{"calibrate+trace", []string{"-calibrate", "/nope", "-trace-stages"}, "-calibrate cannot be combined with -trace-stages"},
+		{"tiny-grid alone", []string{"-tiny-grid", "-a-text", "AB", "-b-text", "BA", "score"}, "-tiny-grid requires -calibrate"},
+		{"profile+edit", []string{"-profile", "/nope", "-edit", "-a-text", "AB", "-b-text", "BA", "score"}, "-profile cannot be combined with -edit"},
+		{"profile+banded", []string{"-profile", "/nope", "-banded", "-a-text", "AB", "-b-text", "BA", "score"}, "-profile cannot be combined with -banded"},
+		{"calibrate extra args", []string{"-calibrate", "/nope", "leftover"}, "unexpected arguments with -calibrate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) = %q, want it to contain %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+	// A missing profile is a fallback, not a usage error: the run
+	// proceeds untuned.
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "/nonexistent/profile.json", "-a-text", "AB", "-b-text", "BA", "score"}, &buf); err != nil {
+		t.Fatalf("missing profile must fall back, got: %v", err)
+	}
+	if !strings.Contains(buf.String(), "running with built-in defaults") {
+		t.Fatalf("fallback not announced:\n%s", buf.String())
+	}
+}
+
+// TestProfileBatchMatchesPlain is the CLI-level soundness check: a
+// tuned batch run answers every request identically to the untuned one
+// (only the profile banner and the counter line may differ).
+func TestProfileBatchMatchesPlain(t *testing.T) {
+	batch := filepath.Join("testdata", "batch.txt")
+	var plain, tuned bytes.Buffer
+	if err := run([]string{"-serve-batch", batch}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-serve-batch", batch, "-profile", filepath.Join("testdata", "profile.json")}, &tuned); err != nil {
+		t.Fatal(err)
+	}
+	tl := strings.Split(tuned.String(), "\n")
+	if !strings.HasPrefix(tl[0], "# profile: loaded") {
+		t.Fatalf("tuned run missing the profile banner: %q", tl[0])
+	}
+	pl := strings.Split(plain.String(), "\n")
+	tl = tl[1:]
+	if len(pl) != len(tl) {
+		t.Fatalf("line count differs: %d vs %d", len(pl), len(tl))
+	}
+	for i := range pl {
+		if strings.HasPrefix(pl[i], "# engine:") {
+			continue
+		}
+		if pl[i] != tl[i] {
+			t.Errorf("line %d differs under -profile:\nplain: %s\ntuned: %s", i, pl[i], tl[i])
+		}
+	}
+}
+
+// TestFixtureProfileIsCurrent guards the checked-in fixture against
+// schema drift: it must load under the current build's strict decoder.
+func TestFixtureProfileIsCurrent(t *testing.T) {
+	prof, err := semilocal.LoadProfile(filepath.Join("testdata", "profile.json"))
+	if err != nil {
+		t.Fatalf("fixture profile rejected (regenerate with -calibrate): %v", err)
+	}
+	if prof.Workers != 2 {
+		t.Fatalf("fixture profile workers = %d, want 2 (goldens depend on it)", prof.Workers)
+	}
+	if _, err := os.Stat(filepath.Join("testdata", "profile-corrupt.json")); err != nil {
+		t.Fatal(err)
+	}
+}

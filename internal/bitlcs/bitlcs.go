@@ -24,6 +24,15 @@
 //	FormulaOpt — MemOpt plus the optimized Boolean formulas that update
 //	             v by masked selection and h by an XOR patch, and the
 //	             complemented-a trick (bit_new_2; 18 → 12 operations).
+//	Fused      — FormulaOpt with the block loops fused along block rows
+//	             (bit_new_3): a sequential row-major block schedule keeps
+//	             the horizontal strand word and both pattern words in
+//	             registers across an entire row of blocks, loading and
+//	             storing each vertical word exactly once — the same
+//	             memory-pass reduction the bit_new_2 rewrite applied
+//	             inside a block, applied across blocks. Parallel runs
+//	             need the anti-diagonal schedule, so Workers > 1 falls
+//	             back to FormulaOpt's per-block processing.
 package bitlcs
 
 import (
@@ -48,6 +57,9 @@ const (
 	// FormulaOpt additionally uses the optimized Boolean formula and
 	// stores the complement of a (bit_new_2).
 	FormulaOpt
+	// Fused additionally fuses the block loops along block rows when
+	// running sequentially (bit_new_3).
+	Fused
 )
 
 func (v Version) String() string {
@@ -58,9 +70,15 @@ func (v Version) String() string {
 		return "bit_new_1"
 	case FormulaOpt:
 		return "bit_new_2"
+	case Fused:
+		return "bit_new_3"
 	}
 	return fmt.Sprintf("Version(%d)", int(v))
 }
+
+// Versions lists every implementation in a stable order; the
+// differential suites and calibration grid iterate it.
+func Versions() []Version { return []Version{Old, MemOpt, FormulaOpt, Fused} }
 
 // Options configure parallel execution.
 type Options struct {
@@ -103,12 +121,21 @@ func Score(a, b []byte, v Version, opt Options) int {
 		process = st.blockMemOpt
 	case FormulaOpt:
 		process = st.blockFormulaOpt
+	case Fused:
+		// Row fusion needs the sequential row-major schedule; parallel
+		// runs use FormulaOpt's block body on the anti-diagonal
+		// schedule (bit-identical, just unfused).
+		process = st.blockFormulaOpt
 	default:
 		panic(fmt.Sprintf("bitlcs: unknown version %d", int(v)))
 	}
 
 	sp := opt.Rec.Start(obs.StageBitBlocks)
-	runBlocks(len(st.h), len(st.v), process, opt)
+	if v == Fused && opt.Workers <= 1 {
+		st.runFused()
+	} else {
+		runBlocks(len(st.h), len(st.v), process, opt)
+	}
 	sp.End()
 	opt.Rec.Add(obs.CounterBitBlocks, int64(len(st.h))*int64(len(st.v)))
 	return len(a) - popcount(st.h)

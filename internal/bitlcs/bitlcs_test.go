@@ -18,7 +18,7 @@ func randBinary(rng *rand.Rand, n int, pOne float64) []byte {
 	return s
 }
 
-var versions = []Version{Old, MemOpt, FormulaOpt}
+var versions = Versions()
 
 func TestScoreSmallExhaustive(t *testing.T) {
 	// Every pair of binary strings with lengths 1…9: full coverage of the

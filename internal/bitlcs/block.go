@@ -80,6 +80,45 @@ func (st *bitState) blockMemOpt(I, J int) {
 // — and the other side is patched by XOR with the bits that changed,
 // h' = h ⊕ ((v ⊕ v') shifted); storing ^a alongside a turns the match
 // computation ^(a ⊕ b) into a single XOR.
+// runFused is bit_new_3: the FormulaOpt block body driven in block
+// row-major order with the row-invariant words hoisted out of the
+// column loop. The grid dependencies run top-to-bottom and
+// left-to-right; horizontal words store reversed rows (bit k of h[I] is
+// row m-1-(I·W+k)), so the top of the grid is the highest I — the row
+// order is I descending, J ascending. Along one block row the
+// horizontal word h and the pattern words aw/naw/hm never leave
+// registers; each vertical word is loaded and stored exactly once. The
+// anti-diagonal driver touches five words per block where this touches
+// two, which is where the memory-pass win comes from.
+func (st *bitState) runFused() {
+	for I := len(st.h) - 1; I >= 0; I-- {
+		h := st.h[I]
+		aw, naw := st.a[I], st.na[I]
+		hm := st.hm[I]
+		for J := 0; J < len(st.v); J++ {
+			v, bw, vm := st.v[J], st.b[J], st.vm[J]
+			for e := W - 1; e >= 1; e-- { // δ = -e, horizontal frame
+				vs := v << e
+				notS := aw ^ (bw << e)
+				valid := hm & (vm << e)
+				oldH := h
+				h = (h & (notS | ^valid)) | (vs & valid)
+				v = v ^ ((oldH ^ h) >> e)
+			}
+			for d := 0; d < W; d++ { // δ = d, vertical frame
+				hs := h << d
+				s := (naw << d) ^ bw
+				valid := (hm << d) & vm
+				oldV := v
+				v = (hs | ^valid) & (v | (s & valid))
+				h = h ^ ((oldV ^ v) >> d)
+			}
+			st.v[J] = v
+		}
+		st.h[I] = h
+	}
+}
+
 func (st *bitState) blockFormulaOpt(I, J int) {
 	h, v := st.h[I], st.v[J]
 	aw, naw := st.a[I], st.na[I]

@@ -1,0 +1,57 @@
+package bitlcs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFusedStateMatchesFormulaOpt compares the complete final strand
+// state — every horizontal and vertical word, not just the recovered
+// score — between the fused row-major driver and the anti-diagonal
+// FormulaOpt schedule. The two orders must commute to the identical
+// fixpoint; a score-only check could mask compensating bit errors.
+func TestFusedStateMatchesFormulaOpt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{1, 17, 63, 64, 65, 128, 200, 511, 1024}
+	for _, m := range lengths {
+		for _, n := range lengths {
+			if m > n {
+				continue // Score swaps so m ≤ n; drive the states directly
+			}
+			a := randBinary(rng, m, 0.4)
+			b := randBinary(rng, n, 0.6)
+
+			ref := newBitState(a, b)
+			runBlocks(len(ref.h), len(ref.v), ref.blockFormulaOpt, Options{})
+			fused := newBitState(a, b)
+			fused.runFused()
+
+			for i := range ref.h {
+				if ref.h[i] != fused.h[i] {
+					t.Fatalf("m=%d n=%d: h[%d] = %#x fused vs %#x antidiag", m, n, i, fused.h[i], ref.h[i])
+				}
+			}
+			for j := range ref.v {
+				if ref.v[j] != fused.v[j] {
+					t.Fatalf("m=%d n=%d: v[%d] = %#x fused vs %#x antidiag", m, n, j, fused.v[j], ref.v[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedParallelFallback pins that Fused with Workers > 1 (which
+// routes to the anti-diagonal schedule — row fusion is inherently
+// sequential) still scores identically to the sequential fused path.
+func TestFusedParallelFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 1+rng.Intn(2000), 1+rng.Intn(2000)
+		a, b := randBinary(rng, m, 0.5), randBinary(rng, n, 0.5)
+		seq := Score(a, b, Fused, Options{})
+		par := Score(a, b, Fused, Options{Workers: 4, MinBlocks: 1})
+		if seq != par {
+			t.Fatalf("trial %d (m=%d n=%d): fused sequential %d vs parallel fallback %d", trial, m, n, seq, par)
+		}
+	}
+}

@@ -11,13 +11,22 @@ import (
 // Max16 is the largest m+n for which 16-bit strand indices are usable.
 const Max16 = 1 << 16
 
+// Fits16 reports whether a problem of size m×n can use 16-bit strand
+// indices: the m+n strand start tracks must be addressable in a uint16.
+// This is THE eligibility decision — the dispatcher, the grid-reduction
+// tile splitter, benchsuite's ablations, and the calibration grid all
+// route through it rather than re-deriving the comparison, so the
+// boundary (m+n == Max16 is still eligible; one more strand is not)
+// cannot drift between callers.
+func Fits16(m, n int) bool { return m+n <= Max16 }
+
 // RowMajor16 is RowMajor with strand indices stored in 16-bit words, the
 // paper's reduced-precision optimization for m+n ≤ 2¹⁶. Halving the
 // element size doubles the number of strand indices per cache line (and,
 // in the paper's AVX setting, per SIMD vector).
 func RowMajor16(a, b []byte) perm.Permutation {
 	m, n := len(a), len(b)
-	if m+n > Max16 {
+	if !Fits16(m, n) {
 		panic(fmt.Sprintf("combing: RowMajor16 needs m+n ≤ %d, got %d", Max16, m+n))
 	}
 	hs := make([]uint16, m)
@@ -47,7 +56,7 @@ func RowMajor16(a, b []byte) perm.Permutation {
 // indices. Parallelism follows opt as in Antidiag.
 func Antidiag16(a, b []byte, opt Options) perm.Permutation {
 	m, n := len(a), len(b)
-	if m+n > Max16 {
+	if !Fits16(m, n) {
 		panic(fmt.Sprintf("combing: Antidiag16 needs m+n ≤ %d, got %d", Max16, m+n))
 	}
 	if m == 0 || n == 0 {

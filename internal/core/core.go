@@ -112,6 +112,12 @@ func Solve(a, b []byte, cfg Config) (*Kernel, error) {
 // threaded as an argument rather than stored in Config, which stays a
 // comparable cache key.
 func SolveInjected(a, b []byte, cfg Config, rec *obs.Recorder, inj *chaos.Injector) (*Kernel, error) {
+	return SolveInjectedTuned(a, b, cfg, rec, inj, nil)
+}
+
+// SolveInjectedTuned is SolveInjected reading calibrated parameters
+// from tn; see SolveTuned.
+func SolveInjectedTuned(a, b []byte, cfg Config, rec *obs.Recorder, inj *chaos.Injector, tn *Tuning) (*Kernel, error) {
 	if d := inj.At(chaos.PointSolveStart); d.Fault != chaos.FaultNone {
 		switch d.Fault {
 		case chaos.FaultLatency:
@@ -120,7 +126,7 @@ func SolveInjected(a, b []byte, cfg Config, rec *obs.Recorder, inj *chaos.Inject
 			return nil, chaos.Injected(chaos.PointSolveStart)
 		}
 	}
-	k, err := SolveObserved(a, b, cfg, rec)
+	k, err := SolveTuned(a, b, cfg, rec, tn)
 	if err != nil {
 		return nil, err
 	}
@@ -140,32 +146,51 @@ func SolveInjected(a, b []byte, cfg Config, rec *obs.Recorder, inj *chaos.Inject
 // than stored in Config, which stays a comparable cache key. A nil rec
 // reproduces Solve exactly with zero instrumentation cost.
 func SolveObserved(a, b []byte, cfg Config, rec *obs.Recorder) (*Kernel, error) {
+	return SolveTuned(a, b, cfg, rec, nil)
+}
+
+// SolveTuned is SolveObserved reading calibrated parameters from tn in
+// place of the built-in constants: the parallel-split chunk size, the
+// 16-bit strand-index threshold, the hybrid switch size and depth cap,
+// the steady-ant recursion cut-off, and the grid tile target. Like the
+// recorder and injector, the tuning is threaded as an argument so
+// Config stays a comparable cache key — sound because tuning never
+// changes the kernel, only which code path computes it (pinned
+// bit-identically by the grid-sweep differential wall in
+// internal/tune). A nil tn reproduces SolveObserved exactly.
+func SolveTuned(a, b []byte, cfg Config, rec *obs.Recorder, tn *Tuning) (*Kernel, error) {
 	if len(a)+len(b) > MaxOrder {
 		return nil, fmt.Errorf("core: input order %d exceeds the int32 kernel limit %d", len(a)+len(b), MaxOrder)
 	}
-	mult := steadyant.ObservedMult(rec) // Multiply itself when rec == nil
+	mult := steadyant.ObservedMultBase(rec, tn.precalcBase()) // Multiply itself when rec == nil and base is default
+	minChunk := tn.combMinChunk()
 	sp := rec.Start(obs.StageSolve)
 	var p perm.Permutation
 	switch cfg.Algorithm {
 	case RowMajor:
 		p = combing.RowMajorObserved(a, b, rec)
 	case Antidiag:
-		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers, Rec: rec})
+		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers, MinChunk: minChunk, Rec: rec})
 	case AntidiagBranchless:
-		p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers, Branchless: true, Rec: rec})
+		if tn.use16(len(a), len(b)) && combing.Fits16(len(a), len(b)) {
+			p = combing.Antidiag16(a, b, combing.Options{Workers: cfg.Workers, MinChunk: minChunk, Rec: rec})
+		} else {
+			p = combing.Antidiag(a, b, combing.Options{Workers: cfg.Workers, Branchless: true, MinChunk: minChunk, Rec: rec})
+		}
 	case LoadBalanced:
-		p = combing.LoadBalanced(a, b, combing.Options{Workers: cfg.Workers, Branchless: true, Rec: rec}, mult)
+		p = combing.LoadBalanced(a, b, combing.Options{Workers: cfg.Workers, Branchless: true, MinChunk: minChunk, Rec: rec}, mult)
 	case Recursive:
 		p = hybrid.Recursive(a, b, mult)
 	case Hybrid:
 		depth := cfg.Depth
 		if depth == 0 {
-			depth = defaultHybridDepth(len(a), len(b), cfg.Workers)
+			depth = tunedHybridDepth(len(a), len(b), cfg.Workers, tn.hybridSwitch(), tn.hybridMaxDepth())
 		}
-		p = hybrid.Hybrid(a, b, hybrid.Options{Depth: depth, Workers: cfg.Workers, Branchless: true, Rec: rec})
+		p = hybrid.Hybrid(a, b, hybrid.Options{Depth: depth, Workers: cfg.Workers, Branchless: true, Mult: mult, Rec: rec})
 	case GridReduction:
 		p = hybrid.GridReduction(a, b, hybrid.GridOptions{
-			Workers: cfg.Workers, Tiles: cfg.Tiles, Use16: cfg.Use16, Branchless: true, Rec: rec,
+			Workers: cfg.Workers, Tiles: tn.tiles(cfg.Tiles, cfg.Workers),
+			Use16: cfg.Use16 || tn.use16Enabled(), Branchless: true, Mult: mult, Rec: rec,
 		})
 	default:
 		sp.End()
@@ -175,14 +200,27 @@ func SolveObserved(a, b []byte, cfg Config, rec *obs.Recorder) (*Kernel, error) 
 	return NewKernel(p, len(a), len(b)), nil
 }
 
+// Built-in constants of the hybrid depth heuristic, overridable through
+// Tuning.
+const (
+	defaultHybridSwitch   = 4096
+	defaultHybridMaxDepth = 6
+)
+
 // defaultHybridDepth mirrors the paper's Figure 6 guidance: deeper
 // thresholds only pay off for longer inputs, and there is no point
 // splitting beyond the worker count.
 func defaultHybridDepth(m, n, workers int) int {
+	return tunedHybridDepth(m, n, workers, defaultHybridSwitch, defaultHybridMaxDepth)
+}
+
+// tunedHybridDepth is the heuristic with the switch size and depth cap
+// as parameters, so calibration can move them per machine.
+func tunedHybridDepth(m, n, workers, switchSize, maxDepth int) int {
 	depth := 0
-	for size := min(m, n); size > 4096; size /= 2 {
+	for size := min(m, n); size > switchSize; size /= 2 {
 		depth++
-		if depth >= 6 {
+		if depth >= maxDepth {
 			break
 		}
 	}
@@ -206,6 +244,9 @@ type Kernel struct {
 
 	domOnce sync.Once
 	dom     *dominance.Tree
+
+	invOnce sync.Once
+	inv     []int32 // cached column→row view; kernels are immutable
 }
 
 // NewKernel wraps a kernel permutation. The permutation order must be
@@ -227,6 +268,14 @@ func (k *Kernel) N() int { return k.n }
 func (k *Kernel) tree() *dominance.Tree {
 	k.domOnce.Do(func() { k.dom = dominance.New(k.p.RowToCol()) })
 	return k.dom
+}
+
+// colToRow returns the kernel's column→row view, built once on first
+// use: window sweeps need the inverse, and re-deriving it per sweep
+// would put an allocation on the BestWindow steady-state path.
+func (k *Kernel) colToRow() []int32 {
+	k.invOnce.Do(func() { k.inv = k.p.ColToRow() })
+	return k.inv
 }
 
 // Prepare forces construction of the dominance-counting structure that
@@ -303,11 +352,20 @@ func (k *Kernel) PrefixSuffix(v, j int) int {
 // dominance structure needed): the dominated-count is maintained
 // incrementally as the window slides.
 func (k *Kernel) WindowScores(width int) []int {
+	return k.WindowScoresInto(width, nil)
+}
+
+// WindowScoresInto is WindowScores writing into out when its capacity
+// suffices (n-width+1 entries), allocating only otherwise. The returned
+// slice is the result; out's previous contents are ignored. Serving
+// paths that discard the scores after a reduction (BestWindow) route
+// recycled scratch through here to stay allocation-free.
+func (k *Kernel) WindowScoresInto(width int, out []int) []int {
 	if width < 0 || width > k.n {
 		panic(fmt.Sprintf("core: window width %d out of range [0,%d]", width, k.n))
 	}
 	r2c := k.p.RowToCol()
-	c2r := k.p.ColToRow()
+	c2r := k.colToRow()
 	// count(l) = #{(s,e) : s ≥ m+l, e < l+width}.
 	count := 0
 	for s := k.m; s < k.m+k.n; s++ {
@@ -315,7 +373,11 @@ func (k *Kernel) WindowScores(width int) []int {
 			count++
 		}
 	}
-	out := make([]int, k.n-width+1)
+	if cap(out) >= k.n-width+1 {
+		out = out[:k.n-width+1]
+	} else {
+		out = make([]int, k.n-width+1)
+	}
 	out[0] = width - count
 	for l := 1; l+width <= k.n; l++ {
 		// Window moves from [l-1, l-1+width) to [l, l+width).

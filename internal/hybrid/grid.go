@@ -147,7 +147,7 @@ func decideRowReduction(mOuter, nOuter int, heights, widths []int) bool {
 }
 
 func combTile(a, b []byte, opt *GridOptions) perm.Permutation {
-	if opt.Use16 && len(a)+len(b) <= combing.Max16 {
+	if opt.Use16 && combing.Fits16(len(a), len(b)) {
 		return combing.Antidiag16(a, b, combing.Options{Rec: opt.Rec})
 	}
 	return combing.Antidiag(a, b, combing.Options{Branchless: opt.Branchless, Rec: opt.Rec})
@@ -160,7 +160,7 @@ func optimalSplit(m, n, target int, use16 bool) (mOuter, nOuter int) {
 	mOuter, nOuter = 1, 1
 	for {
 		tm, tn := ceilDiv(m, mOuter), ceilDiv(n, nOuter)
-		enough := mOuter*nOuter >= target && (!use16 || tm+tn <= combing.Max16)
+		enough := mOuter*nOuter >= target && (!use16 || combing.Fits16(tm, tn))
 		if enough {
 			return mOuter, nOuter
 		}

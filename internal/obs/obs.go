@@ -106,6 +106,9 @@ const (
 	// request: the content-hash ring lookup plus any chaos- or
 	// health-driven walk to a successor shard.
 	StageServerRoute
+	// StageTuneProbe is one calibration micro-benchmark: a timed sweep
+	// of a single parameter-grid point (internal/tune).
+	StageTuneProbe
 	// NumStages bounds the Stage enum.
 	NumStages
 )
@@ -118,6 +121,7 @@ var stageNames = [NumStages]string{
 	"band_probe", "banded_bfs",
 	"store_read", "store_append", "store_compact",
 	"server_request", "server_route",
+	"tune_probe",
 }
 
 func (s Stage) String() string {
@@ -213,6 +217,15 @@ const (
 	// CounterTenantRejects counts requests rejected by per-tenant quota
 	// admission before touching any shard.
 	CounterTenantRejects
+	// CounterProfileLoads counts machine profiles successfully loaded
+	// from disk (internal/tune).
+	CounterProfileLoads
+	// CounterProfileFallbacks counts profile loads that fell back to the
+	// built-in defaults — missing, corrupt, truncated, or
+	// schema-incompatible profile files.
+	CounterProfileFallbacks
+	// CounterTuneProbes counts calibration micro-benchmark probes.
+	CounterTuneProbes
 	// NumCounters bounds the CounterID enum.
 	NumCounters
 )
@@ -225,6 +238,7 @@ var counterNames = [NumCounters]string{
 	"requests_banded", "band_fallbacks",
 	"store_hits", "store_misses", "store_appends", "store_corrupt_records",
 	"server_requests", "server_reroutes", "tenant_rejects",
+	"profile_loads", "profile_fallbacks", "tune_probes",
 }
 
 func (c CounterID) String() string {

@@ -83,7 +83,7 @@ func checkBitParallel(a, b []byte) error {
 	a01 := projectBinary(a)
 	b01 := projectBinary(b)
 	wantBin := Score(a01, b01)
-	for _, v := range []bitlcs.Version{bitlcs.Old, bitlcs.MemOpt, bitlcs.FormulaOpt} {
+	for _, v := range bitlcs.Versions() {
 		for _, workers := range []int{0, 2} {
 			if got := bitlcs.Score(a01, b01, v, bitlcs.Options{Workers: workers, MinBlocks: 1}); got != wantBin {
 				return fmt.Errorf("bitlcs.Score(%v, workers=%d) = %d, want %d", v, workers, got, wantBin)

@@ -36,6 +36,22 @@ func TestSessionQueryHotPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestBestWindowSteadyStateZeroAllocs: BestWindow reduces a full window
+// sweep and discards it; the sweep buffer must come from the shared
+// recycler so the steady state allocates nothing. (WindowScores proper
+// still allocates — its result escapes to the caller.)
+func TestBestWindowSteadyStateZeroAllocs(t *testing.T) {
+	k, err := core.Solve([]byte("mississippi"), []byte("missouri river basin"), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(k)
+	sess.BestWindow(5) // warm the recycler
+	if got := testing.AllocsPerRun(1000, func() { sess.BestWindow(5) }); got != 0 {
+		t.Errorf("BestWindow allocates %v times per run, want 0", got)
+	}
+}
+
 // TestSolveObservedDisabledAddsZeroAllocs: a nil recorder must leave
 // Solve's allocation profile untouched — SolveObserved(nil) and Solve
 // run the identical path, spans included, without an extra allocation.

@@ -72,7 +72,7 @@ type cache struct {
 	bytes     *stats.Counter // resident session bytes (gauge)
 }
 
-func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder, inj *chaos.Injector, tier *storeTier) *cache {
+func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder, inj *chaos.Injector, tn *core.Tuning, tier *storeTier) *cache {
 	if shards < 1 {
 		shards = 1
 	}
@@ -93,9 +93,9 @@ func newCache(shards, capacity int, reg *stats.Registry, rec *obs.Recorder, inj 
 		evictions: reg.Counter("cache_evictions"),
 		bytes:     reg.Counter("cache_bytes"),
 	}
-	if rec != nil || inj != nil {
+	if rec != nil || inj != nil || tn != nil {
 		c.solve = func(a, b []byte, cfg core.Config) (*core.Kernel, error) {
-			return core.SolveInjected(a, b, cfg, rec, inj)
+			return core.SolveInjectedTuned(a, b, cfg, rec, inj, tn)
 		}
 	}
 	per := (capacity + shards - 1) / shards

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"semilocal/internal/core"
+	"semilocal/internal/recycle"
 )
 
 // Session is an immutable query handle over one solved kernel. Unlike a
@@ -75,17 +76,28 @@ func (s *Session) PrefixSuffix(v, j int) int { return s.k.PrefixSuffix(v, j) }
 // [0, n-width], O(1) amortized per window.
 func (s *Session) WindowScores(width int) []int { return s.k.WindowScores(width) }
 
+// windowScratch recycles the sweep buffers BestWindow reduces over and
+// discards. Sessions are queried from any goroutine, so this is the
+// synchronized recycler flavor; the alloc-parity guards pin that the
+// steady-state path stays allocation-free through it.
+var windowScratch = recycle.NewShared[int](0)
+
 // BestWindow returns the left edge and score of the width-wide window
 // of b with the highest LCS against a (the leftmost on ties). It panics
 // if width is out of [0, n].
 func (s *Session) BestWindow(width int) (l, score int) {
-	scores := s.k.WindowScores(width)
+	var scratch []int
+	if width >= 0 && width <= s.k.N() {
+		scratch = windowScratch.Get(s.k.N() - width + 1)
+	}
+	scores := s.k.WindowScoresInto(width, scratch)
 	best, at := -1, 0
 	for i, sc := range scores {
 		if sc > best {
 			best, at = sc, i
 		}
 	}
+	windowScratch.Put(scores)
 	return at, best
 }
 

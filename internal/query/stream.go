@@ -59,7 +59,7 @@ func (e *Engine) OpenStream(a []byte) (*Stream, error) {
 	if leafCfg == (core.Config{}) {
 		leafCfg = stream.DefaultSolveConfig()
 	}
-	ss, err := stream.New(a, stream.Config{Solve: &leafCfg, Obs: e.rec, Chaos: e.inj})
+	ss, err := stream.New(a, stream.Config{Solve: &leafCfg, Obs: e.rec, Chaos: e.inj, Tuning: e.tn})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,74 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"semilocal/internal/core"
+)
+
+// TestBestWindowConcurrentMatchesWindowScores soaks the recycled-scratch
+// BestWindow path from many goroutines (the scratch pool is shared
+// process-wide) and cross-checks every answer against an independent
+// WindowScores reduction. Run under -race this is the data-race gate
+// for the shared recycler.
+func TestBestWindowConcurrentMatchesWindowScores(t *testing.T) {
+	a := []byte("the quick brown fox jumps over the lazy dog")
+	b := []byte("pack my box with five dozen liquor jugs and the quick fox")
+	k, err := core.Solve(a, b, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(k)
+
+	// Independent expectation per width, computed once up front.
+	type want struct{ at, best int }
+	wants := make([]want, sess.N()+1)
+	for w := 0; w <= sess.N(); w++ {
+		scores := sess.WindowScores(w)
+		best, at := -1, 0
+		for i, sc := range scores {
+			if sc > best {
+				best, at = sc, i
+			}
+		}
+		wants[w] = want{at, best}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				w := (g*31 + iter*7) % (sess.N() + 1)
+				at, best := sess.BestWindow(w)
+				if at != wants[w].at || best != wants[w].best {
+					t.Errorf("BestWindow(%d) = (%d,%d), want (%d,%d)", w, at, best, wants[w].at, wants[w].best)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBestWindowOutOfRangePanics pins the documented panic contract —
+// the recycled-scratch rewrite must not change it.
+func TestBestWindowOutOfRangePanics(t *testing.T) {
+	k, err := core.Solve([]byte("abc"), []byte("abcd"), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(k)
+	for _, w := range []int{-1, sess.N() + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BestWindow(%d) did not panic", w)
+				}
+			}()
+			sess.BestWindow(w)
+		}()
+	}
+}

@@ -1,6 +1,8 @@
 package steadyant
 
 import (
+	"fmt"
+
 	"semilocal/internal/obs"
 	"semilocal/internal/perm"
 )
@@ -27,6 +29,51 @@ func ObservedMult(rec *obs.Recorder) func(p, q perm.Permutation) perm.Permutatio
 		}
 		sp := rec.Start(obs.StageCompose)
 		out := multiplyArenaObserved(p, q, precalcOrder, rec)
+		sp.End()
+		return out
+	}
+}
+
+// ObservedMultBase is ObservedMult with an explicit recursion cut-off
+// order: the steady ant resolves sub-problems of order ≤ base directly
+// instead of recursing (1 ≤ base ≤ 5; Multiply's default is 5). The
+// calibration subsystem injects machine-tuned bases through this; base
+// values ≤ 0 or equal to the default delegate to ObservedMult so the
+// untuned path stays the exact uninstrumented code.
+func ObservedMultBase(rec *obs.Recorder, base int) func(p, q perm.Permutation) perm.Permutation {
+	if base <= 0 || base == precalcOrder {
+		return ObservedMult(rec)
+	}
+	if base > precalcOrder {
+		panic(fmt.Sprintf("steadyant: base %d out of range [1,%d]", base, precalcOrder))
+	}
+	if rec == nil {
+		return func(p, q perm.Permutation) perm.Permutation {
+			n := p.Size()
+			if q.Size() != n {
+				panic(fmt.Sprintf("steadyant: multiplying orders %d and %d", n, q.Size()))
+			}
+			if n == 0 {
+				return perm.Identity(0)
+			}
+			return multiplyArena(p, q, base)
+		}
+	}
+	return func(p, q perm.Permutation) perm.Permutation {
+		n := p.Size()
+		if q.Size() != n {
+			panic(fmt.Sprintf("steadyant: multiplying orders %d and %d", n, q.Size()))
+		}
+		if n == 0 {
+			return perm.Identity(0)
+		}
+		rec.Add(obs.CounterComposes, 1)
+		rec.Add(obs.CounterComposeOrder, int64(n))
+		if n < obs.ComposeSpanMinOrder {
+			return multiplyArena(p, q, base)
+		}
+		sp := rec.Start(obs.StageCompose)
+		out := multiplyArenaObserved(p, q, base, rec)
 		sp.End()
 		return out
 	}

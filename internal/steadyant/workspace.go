@@ -1,5 +1,7 @@
 package steadyant
 
+import "semilocal/internal/recycle"
+
 // Workspace is a reusable multiplication arena: the same 8N-word
 // flip-flop blocks, per-depth mapping storage and split scratch that
 // multiplyArena allocates per call, retained across calls so repeated
@@ -10,7 +12,9 @@ package steadyant
 // A Workspace is single-threaded by design (the arena's depth-first
 // recursion assumes one live node per depth); callers that multiply
 // concurrently must use one Workspace per goroutine. The zero value is
-// ready to use and grows on demand.
+// ready to use and grows on demand; regrowth retires the outgrown
+// backing into the workspace's recycler, so an order that oscillates
+// (grow, shrink, grow) reuses storage instead of re-allocating.
 type Workspace struct {
 	cap     int // largest order the retained storage fits
 	backing []int32
@@ -19,15 +23,19 @@ type Workspace struct {
 	blkA    arenaBlock // per-call views of length n, passed to the recursion
 	blkB    arenaBlock
 	ar      arena
+	pool    recycle.Pool[int32] // retired backing + colRank buffers
 }
 
-// grow ensures the retained storage fits order n. Growth allocates;
-// subsequent calls at or below the grown order do not.
+// grow ensures the retained storage fits order n. Growth allocates (or
+// reuses a retired buffer); subsequent calls at or below the grown
+// order do not.
 func (w *Workspace) grow(n int) {
 	if n <= w.cap {
 		return
 	}
-	w.backing = make([]int32, 8*n)
+	w.pool.Put(w.backing)
+	w.pool.Put(w.ar.colRank)
+	w.backing = w.pool.Get(8 * n)
 	w.cur = arenaBlock{
 		p:  w.backing[0*n : 1*n],
 		q:  w.backing[1*n : 2*n],
@@ -40,7 +48,7 @@ func (w *Workspace) grow(n int) {
 		s1: w.backing[6*n : 7*n],
 		s2: w.backing[7*n : 8*n],
 	}
-	w.ar.colRank = make([]int32, n)
+	w.ar.colRank = w.pool.Get(n)
 	w.ar.maps = w.ar.maps[:0] // regrown lazily by mapsAt
 	w.cap = n
 }

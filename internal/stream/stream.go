@@ -23,9 +23,9 @@
 // pointer: queries are lock-free and may run concurrently with
 // appends, always observing a complete, consistent window. Mutations
 // (Append, Slide) are serialized by a mutex. Compositions run in a
-// retained arena workspace and recycle spine buffers through a
-// freelist, so steady-state merges allocate nothing (the alloc guards
-// pin this).
+// retained arena workspace and recycle spine buffers through the
+// shared recycler (internal/recycle), so steady-state merges allocate
+// nothing (the alloc guards pin this).
 package stream
 
 import (
@@ -38,6 +38,7 @@ import (
 	"semilocal/internal/core"
 	"semilocal/internal/obs"
 	"semilocal/internal/perm"
+	"semilocal/internal/recycle"
 )
 
 // Config configures a Session. The zero value is usable: branchless
@@ -55,6 +56,11 @@ type Config struct {
 	// Chaos, when non-nil, is consulted at the stream injection point
 	// on entry to every mutation. nil disables injection.
 	Chaos *chaos.Injector
+	// Tuning supplies machine-calibrated solver parameters for the leaf
+	// chunk solves; nil runs the built-in defaults. Tuning never changes
+	// leaf kernels, so sessions with different tunings publish identical
+	// generations.
+	Tuning *core.Tuning
 }
 
 // DefaultSolveConfig is the leaf solve configuration used when
@@ -109,13 +115,14 @@ type Session struct {
 	cfg core.Config
 	rec *obs.Recorder
 	inj *chaos.Injector
+	tn  *core.Tuning
 
 	mu        sync.Mutex
 	window    int    // bytes across all leaves
 	leaves    []leaf // the current window's chunks, oldest first
 	firstLeaf int    // absolute index of leaves[0]
 	spine     []node // composed leaf runs, oldest first, leaf counts ≥2× decreasing
-	free      [][]int32
+	pool      recycle.Pool[int32]
 	comp      composer
 	gen       uint64
 	emptyK    *core.Kernel // P(a, ε), reused by every empty-window generation
@@ -123,10 +130,6 @@ type Session struct {
 	comps atomic.Int64
 	cur   atomic.Pointer[State]
 }
-
-// maxFree bounds the buffer freelist; beyond it, retired buffers are
-// left to the garbage collector.
-const maxFree = 8
 
 // New opens a streaming session for pattern a. The pattern is copied;
 // the initial generation is the empty window.
@@ -148,6 +151,7 @@ func New(a []byte, cfg Config) (*Session, error) {
 		cfg: solve,
 		rec: cfg.Obs,
 		inj: cfg.Chaos,
+		tn:  cfg.Tuning,
 	}
 	s.emptyK = core.NewKernel(perm.Identity(len(a)), len(a), 0)
 	s.cur.Store(&State{Kernel: s.emptyK})
@@ -218,7 +222,7 @@ func (s *Session) Append(chunk []byte) error {
 		return fmt.Errorf("stream: window order %d exceeds the int32 kernel limit %d",
 			len(s.a)+s.window+len(chunk), core.MaxOrder)
 	}
-	k, err := core.SolveObserved(s.a, chunk, s.cfg, s.rec)
+	k, err := core.SolveTuned(s.a, chunk, s.cfg, s.rec, s.tn)
 	if err != nil {
 		return err
 	}
@@ -383,29 +387,15 @@ func (s *Session) composeB(k1, k2 []int32, n1, n2 int, dst []int32) {
 	s.comp.composeB(k1, k2, m, n1, n2, dst)
 }
 
-// getBuf returns a buffer of length n, reusing the freelist where a
-// retired buffer is large enough.
-func (s *Session) getBuf(n int) []int32 {
-	for i := len(s.free) - 1; i >= 0; i-- {
-		if cap(s.free[i]) >= n {
-			b := s.free[i][:n]
-			s.free[i] = s.free[len(s.free)-1]
-			s.free = s.free[:len(s.free)-1]
-			return b
-		}
-	}
-	return make([]int32, n)
-}
+// getBuf returns a buffer of length n through the session's recycler
+// (the session mutex serializes all callers, so the unsynchronized
+// pool flavor suffices).
+func (s *Session) getBuf(n int) []int32 { return s.pool.Get(n) }
 
-// putBuf retires a buffer into the freelist. Only buffers referenced
+// putBuf retires a buffer into the recycler. Only buffers referenced
 // by nothing may be retired; published and leaf-aliased buffers never
 // come here (see node.owned).
-func (s *Session) putBuf(b []int32) {
-	if cap(b) == 0 || len(s.free) >= maxFree {
-		return
-	}
-	s.free = append(s.free, b)
-}
+func (s *Session) putBuf(b []int32) { s.pool.Put(b) }
 
 // recycle retires a spine node's buffer if the node owns it.
 func (s *Session) recycle(nd node) {

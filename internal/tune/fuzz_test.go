@@ -1,0 +1,82 @@
+package tune
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"semilocal/internal/obs"
+)
+
+// FuzzProfileLoad throws arbitrary bytes at the profile loader: whatever
+// is on disk, LoadOrDefault must return a usable profile (the parsed one
+// or the default, never nil, never invalid), exactly one of the two
+// outcome counters must move, and any profile Load does accept must
+// validate and survive a save/load round trip unchanged.
+func FuzzProfileLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a profile"))
+	valid := Default()
+	valid.Core.CombMinChunk = 2048
+	valid.Core.Use16Threshold = 65536
+	valid.Workers = 4
+	valid.BitVersion = "bit_new_3"
+	dir := f.TempDir()
+	seed := filepath.Join(dir, "seed.json")
+	if err := valid.Save(seed); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), data...))
+	f.Add(append([]byte(nil), data[:len(data)/2]...))
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+	f.Add([]byte(`{"schema":99,"core":{}}`))
+	f.Add([]byte(`{"schema":1,"core":{"precalc_base":6}}`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		path := filepath.Join(t.TempDir(), "profile.json")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.New()
+		p, loadErr := LoadOrDefault(path, rec)
+		if p == nil {
+			t.Fatal("LoadOrDefault returned a nil profile")
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("LoadOrDefault returned an invalid profile: %v", err)
+		}
+		loads := rec.Counter(obs.CounterProfileLoads)
+		falls := rec.Counter(obs.CounterProfileFallbacks)
+		if loads+falls != 1 {
+			t.Fatalf("counters moved %d times (loads=%d fallbacks=%d), want exactly 1", loads+falls, loads, falls)
+		}
+		if loadErr != nil {
+			if falls != 1 || !reflect.DeepEqual(p, Default()) {
+				t.Fatalf("failed load must fall back to the default: err=%v falls=%d p=%+v", loadErr, falls, p)
+			}
+			return
+		}
+		if loads != 1 {
+			t.Fatalf("successful load counted as fallback")
+		}
+		// An accepted profile must round-trip bit-exactly.
+		out := filepath.Join(t.TempDir(), "resaved.json")
+		if err := p.Save(out); err != nil {
+			t.Fatalf("resave of an accepted profile failed: %v", err)
+		}
+		again, err := Load(out)
+		if err != nil {
+			t.Fatalf("reload of a resaved profile failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, p) {
+			t.Fatalf("accepted profile did not round-trip:\nfirst  %+v\nsecond %+v", p, again)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package tune
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"semilocal/internal/obs"
+)
+
+func randomProfile(rng *rand.Rand) *Profile {
+	p := Default()
+	p.CreatedAt = "2026-08-07T00:00:00Z"
+	p.Core.CombMinChunk = rng.Intn(3) * 1024
+	p.Core.Use16Threshold = rng.Intn(2) * 65536
+	p.Core.HybridSwitch = rng.Intn(3) * 2048
+	p.Core.HybridMaxDepth = rng.Intn(4)
+	p.Core.PrecalcBase = rng.Intn(6)
+	p.Core.TilesPerWorker = rng.Intn(5)
+	p.Workers = rng.Intn(9)
+	if rng.Intn(2) == 1 {
+		p.BitVersion = "bit_new_3"
+	}
+	p.BitMinBlocks = rng.Intn(3) * 4
+	return p
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		p := randomProfile(rng)
+		path := filepath.Join(dir, "profile.json")
+		if err := p.Save(path); err != nil {
+			t.Fatalf("profile %d: save: %v", i, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("profile %d: load: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("profile %d: round trip changed the profile:\nsaved  %+v\nloaded %+v", i, p, got)
+		}
+	}
+}
+
+func TestProfileSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+	for i := 0; i < 3; i++ {
+		if err := Default().Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "profile.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory after saves: %v, want only profile.json", names)
+	}
+}
+
+// TestLoadRejectsBadProfiles is the strictness table: every way a
+// profile can be wrong — foreign fields, foreign schema, out-of-range
+// values, trailing or truncated data — must fail Load, and
+// LoadOrDefault must fall back to the untuned defaults with the
+// fallback counter bumped.
+func TestLoadRejectsBadProfiles(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"garbage", "not json at all"},
+		{"wrong-type", `[1,2,3]`},
+		{"schema-zero", `{"schema":0,"core":{}}`},
+		{"schema-future", `{"schema":99,"core":{}}`},
+		{"unknown-top-field", `{"schema":1,"core":{},"surprise":1}`},
+		{"unknown-core-field", `{"schema":1,"core":{"comb_min_chonk":512}}`},
+		{"negative-chunk", `{"schema":1,"core":{"comb_min_chunk":-1}}`},
+		{"negative-workers", `{"schema":1,"core":{},"workers":-2}`},
+		{"base-too-big", `{"schema":1,"core":{"precalc_base":6}}`},
+		{"bad-bit-version", `{"schema":1,"core":{},"bit_version":"bit_new_9"}`},
+		{"trailing-data", `{"schema":1,"core":{}}{"schema":1}`},
+		{"truncated", `{"schema":1,"core":{"comb_min_chu`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "profile.json")
+			if err := os.WriteFile(path, []byte(tc.data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(path); err == nil {
+				t.Fatalf("Load accepted %s profile", tc.name)
+			}
+			rec := obs.New()
+			p, err := LoadOrDefault(path, rec)
+			if err == nil {
+				t.Fatalf("LoadOrDefault reported success on %s profile", tc.name)
+			}
+			if !reflect.DeepEqual(p, Default()) {
+				t.Fatalf("fallback profile is not the default: %+v", p)
+			}
+			if got := rec.Counter(obs.CounterProfileFallbacks); got != 1 {
+				t.Fatalf("profile_fallbacks = %d, want 1", got)
+			}
+			if got := rec.Counter(obs.CounterProfileLoads); got != 0 {
+				t.Fatalf("profile_loads = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestLoadOrDefaultCountsSuccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	want := Default()
+	want.Core.CombMinChunk = 1024
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	p, err := LoadOrDefault(path, rec)
+	if err != nil {
+		t.Fatalf("LoadOrDefault on a valid profile: %v", err)
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("loaded %+v, want %+v", p, want)
+	}
+	if got := rec.Counter(obs.CounterProfileLoads); got != 1 {
+		t.Fatalf("profile_loads = %d, want 1", got)
+	}
+	if got := rec.Counter(obs.CounterProfileFallbacks); got != 0 {
+		t.Fatalf("profile_fallbacks = %d, want 0", got)
+	}
+}
+
+func TestLoadOrDefaultMissingFile(t *testing.T) {
+	rec := obs.New()
+	p, err := LoadOrDefault(filepath.Join(t.TempDir(), "absent.json"), rec)
+	if err == nil {
+		t.Fatal("missing file reported as a successful load")
+	}
+	if !reflect.DeepEqual(p, Default()) {
+		t.Fatalf("fallback profile is not the default: %+v", p)
+	}
+	if got := rec.Counter(obs.CounterProfileFallbacks); got != 1 {
+		t.Fatalf("profile_fallbacks = %d, want 1", got)
+	}
+}
+
+// TestProfileTornTail mirrors the store's torn-tail recovery property:
+// for every truncation point of a valid profile file, Load either fails
+// cleanly or returns the complete profile (the only prefix that parses
+// is the one missing nothing but trailing whitespace), and LoadOrDefault
+// therefore never yields a half-applied tuning.
+func TestProfileTornTail(t *testing.T) {
+	full := Default()
+	full.Core.CombMinChunk = 4096
+	full.Core.Use16Threshold = 65536
+	full.Core.PrecalcBase = 4
+	full.Workers = 8
+	full.BitVersion = "bit_new_3"
+	full.BitMinBlocks = 8
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+	if err := full.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.json")
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, err := Load(torn)
+		if err != nil {
+			continue // clean failure is the expected outcome
+		}
+		if !reflect.DeepEqual(p, full) {
+			t.Fatalf("cut %d: torn profile loaded as %+v, want clean failure or the full profile", cut, p)
+		}
+	}
+}
+
+// TestCalibrateTinyGrid runs the real calibrator end to end on the CI
+// grid: the winning profile must validate, persist, round-trip, and the
+// run must be visible in obs (one tune_probe count per probe).
+func TestCalibrateTinyGrid(t *testing.T) {
+	g := TinyGrid()
+	rec := obs.New()
+	var sb strings.Builder
+	p := Calibrate(g, rec, &sb)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("calibrated profile invalid: %v\nlog:\n%s", err, sb.String())
+	}
+	if p.Workers < 1 {
+		t.Fatalf("calibrated workers = %d", p.Workers)
+	}
+	if p.BitVersion == "" {
+		t.Fatal("calibration left bit_version unset")
+	}
+	// Every axis except bit_min_blocks (skipped when workers=1 wins) is
+	// always swept.
+	minProbes := int64(len(g.Workers) + len(g.MinChunks) + len(g.Use16) +
+		len(g.HybridSwitches) + len(g.PrecalcBases) + len(g.TilesPerWorker) +
+		len(g.BitVersions))
+	if got := rec.Counter(obs.CounterTuneProbes); got < minProbes {
+		t.Fatalf("tune_probes = %d, want ≥ %d", got, minProbes)
+	}
+	if !strings.Contains(sb.String(), "-> workers=") {
+		t.Fatalf("calibration log missing winner lines:\n%s", sb.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("calibrated profile did not round-trip:\nsaved  %+v\nloaded %+v", p, got)
+	}
+}
+
+func TestGridPointsNonEmpty(t *testing.T) {
+	if n := len((Grid{}).Points()); n != 1 {
+		t.Fatalf("empty grid yields %d points, want 1", n)
+	}
+	g := DefaultGrid()
+	want := len(g.MinChunks) * len(g.Use16) * len(g.HybridSwitches) *
+		len(g.PrecalcBases) * len(g.TilesPerWorker)
+	if n := len(g.Points()); n != want {
+		t.Fatalf("default grid yields %d points, want %d", n, want)
+	}
+}
