@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race test-race check check-obs check-chaos check-stream check-banded check-store check-server check-tune bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
+.PHONY: all build test race test-race check check-obs check-chaos check-stream check-multipat check-banded check-store check-server check-tune bench bench-smoke figures figures-paper examples fuzz fuzz-smoke
 
 all: build test
 
@@ -61,6 +61,22 @@ check-chaos:
 check-stream:
 	go test -race ./internal/stream ./internal/steadyant ./internal/query ./cmd/semilocal
 	go test -run 'ZeroAllocs|Freelist|AllocParity' ./internal/stream ./internal/steadyant ./internal/query
+
+# Multi-pattern streaming lane: the session-group subsystem end to end
+# under the race detector — the group-differential wall (every pattern
+# bit-identical to an independent session and a from-scratch solve
+# across randomized chunkings and slides), the per-pattern composition
+# bound, relabeling-class leaf sharing and its key-exactness table, the
+# 8-goroutine concurrent-reader soak, the group chaos metamorphic
+# cases, the engine wrapper's lockstep retry/deadline semantics, the
+# /v1/stream group wire extension, and the CLI group-mode goldens. The
+# steady-state group-append alloc guards only compile without -race, so
+# they run in a second, race-free pass, followed by a fuzz smoke of the
+# group target.
+check-multipat:
+	go test -race -run 'Group' ./internal/stream ./internal/query ./internal/server ./cmd/semilocal
+	go test -run 'TestGroupScanZeroAllocs|TestGroupSteadyStateAppendAllocs' ./internal/stream
+	go test -fuzz FuzzStreamGroup -fuzztime 10s ./internal/stream
 
 # Banded fast-path lane: the differential wall (adversarial shapes,
 # 500+ randomized cases, collision stress under forced hash seeds, the
@@ -151,6 +167,7 @@ fuzz:
 	go test -fuzz FuzzEditWindows -fuzztime 30s ./internal/editdist
 	go test -fuzz FuzzSessionQueries -fuzztime 30s ./internal/query
 	go test -fuzz FuzzStreamAppend -fuzztime 30s ./internal/stream
+	go test -fuzz FuzzStreamGroup -fuzztime 30s ./internal/stream
 	go test -fuzz FuzzBandedDistance -fuzztime 30s ./internal/banded
 	go test -fuzz FuzzKernelRoundtrip -fuzztime 30s ./internal/core
 	go test -fuzz FuzzStoreOpen -fuzztime 30s ./internal/store
@@ -167,6 +184,7 @@ fuzz-smoke:
 	go test -fuzz FuzzEditWindows -fuzztime 10s ./internal/editdist
 	go test -fuzz FuzzSessionQueries -fuzztime 10s ./internal/query
 	go test -fuzz FuzzStreamAppend -fuzztime 10s ./internal/stream
+	go test -fuzz FuzzStreamGroup -fuzztime 10s ./internal/stream
 	go test -fuzz FuzzBandedDistance -fuzztime 10s ./internal/banded
 	go test -fuzz FuzzKernelRoundtrip -fuzztime 10s ./internal/core
 	go test -fuzz FuzzStoreOpen -fuzztime 10s ./internal/store

@@ -47,6 +47,18 @@
 //
 //	semilocal -a-text GATTACA -stream ops.txt
 //
+// Op scripts that open with `pattern <p>` lines run a multi-pattern
+// session group instead: the -a-text pattern is pattern 0, each
+// declaration adds the next index, every append/slide mutates all
+// pattern spines in lockstep with the chunk's text-side work shared
+// across patterns, and a query line may address a pattern with an
+// `@<i>` prefix (default pattern 0):
+//
+//	pattern TACA
+//	append GATTACA
+//	score
+//	@1 score
+//
 // Serving hardening (-serve-batch and -stream): -deadline bounds each
 // request or stream mutation, -retries with -retry-backoff re-attempts
 // transient failures, -max-queue sheds requests past a queue bound
@@ -200,6 +212,9 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "# profile: %v; running with built-in defaults\n", err)
 		} else {
 			fmt.Fprintf(out, "# profile: loaded %s (workers=%d)\n", *profilePath, prof.Workers)
+			if serr := prof.Stale(); serr != nil {
+				fmt.Fprintf(out, "# profile: warning: %v\n", serr)
+			}
 			if prof.Workers > 0 && !workersSet {
 				*workers = prof.Workers
 			}
@@ -725,19 +740,29 @@ func loadPattern(args []string, aText, bText string, fasta bool) ([]byte, error)
 
 // streamOp is one parsed line of a -stream op script.
 type streamOp struct {
+	pattern []byte // non-nil: a `pattern` declaration (group mode)
 	append  []byte // non-nil: append this chunk
 	slide   int    // used when isSlide
 	isSlide bool
+	pat     int                    // query target pattern (group mode, `@<i>` prefix)
 	req     semilocal.BatchRequest // otherwise: a query against the window
 }
 
 // parseStreamLine turns one op-script line into a streamOp:
-// `append <chunk>`, `slide <k>`, or `<kind> [args]` with the query
-// kinds and argument counts of the batch format (minus the input pair,
-// which is the stream's pattern and current window).
+// `pattern <p>` (declares an extra group pattern; must precede all
+// other ops), `append <chunk>`, `slide <k>`, or `[@<i>] <kind> [args]`
+// with the query kinds and argument counts of the batch format (minus
+// the input pair, which is a pattern and the current window). The
+// optional `@<i>` prefix addresses pattern i in group mode; without it
+// a query answers against pattern 0, the -a-text pattern.
 func parseStreamLine(line string) (streamOp, error) {
 	fields := strings.Fields(line)
 	switch fields[0] {
+	case "pattern":
+		if len(fields) != 2 {
+			return streamOp{}, fmt.Errorf("pattern wants exactly one whitespace-free pattern, got %q", line)
+		}
+		return streamOp{pattern: []byte(fields[1])}, nil
 	case "append":
 		if len(fields) != 2 {
 			return streamOp{}, fmt.Errorf("append wants exactly one whitespace-free chunk, got %q", line)
@@ -752,6 +777,18 @@ func parseStreamLine(line string) (streamOp, error) {
 			return streamOp{}, err
 		}
 		return streamOp{slide: k, isSlide: true}, nil
+	}
+	pat := 0
+	if strings.HasPrefix(fields[0], "@") {
+		p, err := strconv.Atoi(fields[0][1:])
+		if err != nil || p < 0 {
+			return streamOp{}, fmt.Errorf("bad pattern index %q", fields[0])
+		}
+		pat = p
+		fields = fields[1:]
+		if len(fields) == 0 {
+			return streamOp{}, fmt.Errorf("pattern index without a query kind")
+		}
 	}
 	kind, err := semilocal.ParseQueryKind(fields[0])
 	if err != nil {
@@ -780,7 +817,7 @@ func parseStreamLine(line string) (streamOp, error) {
 	case 2:
 		req.From, req.To = nums[0], nums[1]
 	}
-	return streamOp{req: req}, nil
+	return streamOp{pat: pat, req: req}, nil
 }
 
 // runStream replays an op script against one streaming session opened
@@ -789,6 +826,11 @@ func parseStreamLine(line string) (streamOp, error) {
 // run strictly in file order; a failed mutation prints its error and
 // leaves the window unchanged, so the remaining ops still answer
 // against a consistent generation.
+//
+// Scripts that open with `pattern <p>` lines run in group mode
+// instead: the -a-text pattern is pattern 0, each declaration adds the
+// next index, and one multi-pattern session group serves every query —
+// each chunk's text-side work is paid once across all patterns.
 func runStream(path string, pattern []byte, opts batchOptions, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -796,6 +838,7 @@ func runStream(path string, pattern []byte, opts batchOptions, out io.Writer) er
 	}
 	defer f.Close()
 	var ops []streamOp
+	patterns := [][]byte{pattern}
 	sc := bufio.NewScanner(f)
 	lineno := 0
 	for sc.Scan() {
@@ -807,6 +850,16 @@ func runStream(path string, pattern []byte, opts batchOptions, out io.Writer) er
 		op, err := parseStreamLine(line)
 		if err != nil {
 			return fmt.Errorf("%s:%d: %w", path, lineno, err)
+		}
+		if op.pattern != nil {
+			if len(ops) != 0 {
+				return fmt.Errorf("%s:%d: pattern declarations must precede all other ops", path, lineno)
+			}
+			patterns = append(patterns, op.pattern)
+			continue
+		}
+		if op.pat >= len(patterns) {
+			return fmt.Errorf("%s:%d: pattern index @%d out of range (%d patterns)", path, lineno, op.pat, len(patterns))
 		}
 		ops = append(ops, op)
 	}
@@ -841,10 +894,6 @@ func runStream(path string, pattern []byte, opts batchOptions, out io.Writer) er
 		Tuning:       opts.tuning,
 	})
 	defer engine.Close()
-	stream, err := engine.OpenStream(pattern)
-	if err != nil {
-		return err
-	}
 	if opts.metricsAddr != "" && opts.metricsAddr != "-" {
 		ms, err := startMetricsServer(opts.metricsAddr, rec, engine)
 		if err != nil {
@@ -852,6 +901,30 @@ func runStream(path string, pattern []byte, opts batchOptions, out io.Writer) er
 		}
 		defer ms.stop()
 		fmt.Fprintf(out, "# metrics: serving on http://%s/metrics\n", ms.addr())
+	}
+	if len(patterns) > 1 {
+		err = replayStreamGroup(engine, patterns, ops, out)
+	} else {
+		err = replayStream(engine, pattern, ops, out)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# engine: %s\n", engine.StatsLine())
+	if opts.traceStages {
+		rec.Snapshot().WriteBreakdown(out)
+	}
+	if opts.metricsAddr == "-" {
+		writeMetricsTo(out, rec, engine)
+	}
+	return nil
+}
+
+// replayStream runs the parsed ops against one single-pattern stream.
+func replayStream(engine *semilocal.Engine, pattern []byte, ops []streamOp, out io.Writer) error {
+	stream, err := engine.OpenStream(pattern)
+	if err != nil {
+		return err
 	}
 	ctx := context.Background()
 	for i, op := range ops {
@@ -876,13 +949,57 @@ func runStream(path string, pattern []byte, opts batchOptions, out io.Writer) er
 	}
 	fmt.Fprintf(out, "# stream: gen=%d leaves=%d window=%d compositions=%d\n",
 		stream.Generation(), stream.Leaves(), stream.Window(), stream.Compositions())
-	fmt.Fprintf(out, "# engine: %s\n", engine.StatsLine())
-	if opts.traceStages {
-		rec.Snapshot().WriteBreakdown(out)
+	return nil
+}
+
+// replayStreamGroup runs the parsed ops against one multi-pattern
+// session group: every append and slide mutates all pattern spines in
+// lockstep, queries address their `@<i>` pattern, and the summary line
+// accounts the sharing (leaf solves actually performed vs per-pattern
+// solves avoided by the shared text-side pass).
+func replayStreamGroup(engine *semilocal.Engine, patterns [][]byte, ops []streamOp, out io.Writer) error {
+	sg, err := engine.OpenStreamGroup(patterns)
+	if err != nil {
+		return err
 	}
-	if opts.metricsAddr == "-" {
-		writeMetricsTo(out, rec, engine)
+	fmt.Fprintf(out, "# stream-group: %d patterns (%d distinct spines)\n",
+		sg.Patterns(), sg.DistinctPatterns())
+	ctx := context.Background()
+	for i, op := range ops {
+		switch {
+		case op.append != nil:
+			if err := sg.Append(ctx, op.append); err != nil {
+				fmt.Fprintf(out, "#%d append: error: %v\n", i, err)
+				continue
+			}
+			fmt.Fprintf(out, "#%d append %d bytes: gen=%d window=%d leaves=%d\n",
+				i, len(op.append), sg.Generation(), sg.Window(), sg.Leaves())
+		case op.isSlide:
+			if err := sg.Slide(ctx, op.slide); err != nil {
+				fmt.Fprintf(out, "#%d slide: error: %v\n", i, err)
+				continue
+			}
+			fmt.Fprintf(out, "#%d slide %d: gen=%d window=%d leaves=%d\n",
+				i, op.slide, sg.Generation(), sg.Window(), sg.Leaves())
+		default:
+			res := sg.Query(op.pat, op.req)
+			kind := op.req.Kind
+			switch {
+			case res.Err != nil:
+				fmt.Fprintf(out, "#%d @%d %s: error: %v\n", i, op.pat, kind, res.Err)
+			case kind == semilocal.QueryWindows:
+				fmt.Fprintf(out, "#%d @%d %s(%d) =%s\n", i, op.pat, kind, op.req.Width, joinInts(res.Windows))
+			case kind == semilocal.QueryBestWindow:
+				fmt.Fprintf(out, "#%d @%d %s(%d) = b[%d:%d) score %d\n",
+					i, op.pat, kind, op.req.Width, res.From, res.From+op.req.Width, res.Score)
+			default:
+				fmt.Fprintf(out, "#%d @%d %s = %d\n", i, op.pat, kind, res.Score)
+			}
+		}
 	}
+	fmt.Fprintf(out, "# stream-group: gen=%d leaves=%d window=%d patterns=%d distinct=%d leaf_solves=%d leaf_shared=%d compositions=%d\n",
+		sg.Generation(), sg.Leaves(), sg.Window(), sg.Patterns(), sg.DistinctPatterns(),
+		sg.LeafSolves(), sg.LeafShares(), sg.Compositions())
 	return nil
 }
 

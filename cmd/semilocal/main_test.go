@@ -161,6 +161,15 @@ func TestGolden(t *testing.T) {
 		// answer matches the fault-free stream golden.
 		{"stream-chaos", []string{"-a-text", "GATTACA", "-stream", filepath.Join("testdata", "stream.txt"),
 			"-chaos", "stream:error:1000:0:2", "-retries", "3", "-retry-backoff", "1ms"}},
+		// Group mode: `pattern` declarations switch the op script to one
+		// multi-pattern session group; appends and slides mutate every
+		// spine in lockstep and the summary accounts the shared leaf
+		// solves (the duplicate GATTACA shares a whole spine).
+		{"stream-group", []string{"-a-text", "GATTACA", "-stream", filepath.Join("testdata", "stream-group.txt")}},
+		// Faults hit whole group mutations: two injected errors retry to
+		// success and every answer matches the fault-free group golden.
+		{"stream-group-chaos", []string{"-a-text", "GATTACA", "-stream", filepath.Join("testdata", "stream-group.txt"),
+			"-chaos", "stream:error:1000:0:2", "-retries", "3", "-retry-backoff", "1ms"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -371,6 +380,13 @@ func TestStreamModeErrors(t *testing.T) {
 		"unknown op":        {"-a-text", "AB", "-stream", writeScript("frobnicate 1\n")},
 		"bad query arity":   {"-a-text", "AB", "-stream", writeScript("string-substring 1\n")},
 		"non-numeric query": {"-a-text", "AB", "-stream", writeScript("windows wide\n")},
+		// Group-mode script errors: declarations must lead the script,
+		// carry exactly one pattern, and query indices must resolve.
+		"pattern after op":     {"-a-text", "AB", "-stream", writeScript("append AB\npattern CD\n")},
+		"bad pattern arity":    {"-a-text", "AB", "-stream", writeScript("pattern\n")},
+		"pattern out of range": {"-a-text", "AB", "-stream", writeScript("pattern CD\n@5 score\n")},
+		"bad pattern index":    {"-a-text", "AB", "-stream", writeScript("pattern CD\n@x score\n")},
+		"index without kind":   {"-a-text", "AB", "-stream", writeScript("pattern CD\n@1\n")},
 	}
 	for name, args := range cases {
 		if err := run(args, io.Discard); err == nil {

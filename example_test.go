@@ -54,6 +54,33 @@ func ExampleBinaryLCS() {
 	// 4
 }
 
+// A session group matches many fixed patterns against one shared
+// streaming window, paying the text-side work once per chunk:
+// patterns with the same relabeling structure share leaf solves, and
+// duplicate patterns share whole spines.
+func ExampleNewStreamGroup() {
+	patterns := [][]byte{[]byte("gattaca"), []byte("tac"), []byte("gattaca")}
+	g, err := semilocal.NewStreamGroup(patterns, semilocal.StreamGroupConfig{})
+	if err != nil {
+		panic(err)
+	}
+	for _, chunk := range []string{"gatt", "acat", "acgat"} {
+		if err := g.Append([]byte(chunk)); err != nil {
+			panic(err)
+		}
+	}
+	for i := range patterns {
+		st := g.Snapshot(i)
+		fmt.Printf("%s: LCS %d over %d bytes\n", patterns[i], st.Kernel.Score(), st.Window)
+	}
+	fmt.Println("distinct spines:", g.DistinctPatterns())
+	// Output:
+	// gattaca: LCS 7 over 13 bytes
+	// tac: LCS 3 over 13 bytes
+	// gattaca: LCS 7 over 13 bytes
+	// distinct spines: 2
+}
+
 // Semi-local edit distance answers approximate-matching queries.
 func ExampleSolveEdit() {
 	pattern := []byte("kitten")

@@ -109,6 +109,15 @@ const (
 	// StageTuneProbe is one calibration micro-benchmark: a timed sweep
 	// of a single parameter-grid point (internal/tune).
 	StageTuneProbe
+	// StageStreamGroupAppend is one multi-pattern group mutation end to
+	// end: the shared text-side pass (chunk scan, canonical relabeling
+	// keys, rolling hash) plus the per-pattern fan-out. It nests
+	// StageStreamGroupFanout, StageSolve and StageStreamCompose spans.
+	StageStreamGroupAppend
+	// StageStreamGroupFanout is the fan-out phase of a group mutation:
+	// solving the deduplicated leaf kernels and driving every pattern's
+	// spine, possibly across a worker pool.
+	StageStreamGroupFanout
 	// NumStages bounds the Stage enum.
 	NumStages
 )
@@ -122,6 +131,7 @@ var stageNames = [NumStages]string{
 	"store_read", "store_append", "store_compact",
 	"server_request", "server_route",
 	"tune_probe",
+	"stream_group_append", "stream_group_fanout",
 }
 
 func (s Stage) String() string {
@@ -226,6 +236,23 @@ const (
 	CounterProfileFallbacks
 	// CounterTuneProbes counts calibration micro-benchmark probes.
 	CounterTuneProbes
+	// CounterStreamGroupAppends counts group-wide mutations (appends and
+	// slides) applied to multi-pattern streaming session groups.
+	CounterStreamGroupAppends
+	// CounterStreamGroupPatterns sums the patterns fanned out to per
+	// group mutation — divided by CounterStreamGroupAppends it gives the
+	// mean group width actually served.
+	CounterStreamGroupPatterns
+	// CounterStreamGroupShares counts per-pattern leaf solves avoided by
+	// the group's shared text-side pass: patterns whose chunk kernel was
+	// proven identical to another pattern's (up to joint alphabet
+	// relabeling) and reused instead of recombed.
+	CounterStreamGroupShares
+	// CounterProfileStale counts loaded machine profiles whose recorded
+	// host identity (GOOS/GOARCH/NumCPU) no longer matches the running
+	// host — rejected on platform mismatch, kept-but-flagged on a CPU
+	// count change.
+	CounterProfileStale
 	// NumCounters bounds the CounterID enum.
 	NumCounters
 )
@@ -239,6 +266,8 @@ var counterNames = [NumCounters]string{
 	"store_hits", "store_misses", "store_appends", "store_corrupt_records",
 	"server_requests", "server_reroutes", "tenant_rejects",
 	"profile_loads", "profile_fallbacks", "tune_probes",
+	"stream_group_appends", "stream_group_patterns", "stream_group_shares",
+	"profile_stale",
 }
 
 func (c CounterID) String() string {

@@ -1,0 +1,182 @@
+package query
+
+import (
+	"context"
+	"sync/atomic"
+
+	"semilocal/internal/core"
+	"semilocal/internal/obs"
+	"semilocal/internal/stats"
+	"semilocal/internal/stream"
+)
+
+// StreamGroup is the engine's serving handle over one multi-pattern
+// streaming session group (internal/stream): P fixed patterns against
+// one shared, chunked, optionally sliding window of text, all spines
+// mutated in lockstep with the chunk's text-side work shared across
+// patterns. Mutations go through the same hardening as single-pattern
+// streams — the default per-request deadline bounds each group append,
+// and transient failures retry under the engine's RetryPolicy with
+// backoff (the group guarantees a failed mutation touched no spine, so
+// blind re-issue is correct for all P patterns at once). Reads never
+// block on mutations: Query caches one prepared session per pattern per
+// published generation.
+//
+// All methods are safe for concurrent use. Closing the engine fails
+// subsequent mutations with ErrEngineClosed while already-published
+// generations stay queryable.
+type StreamGroup struct {
+	e *Engine
+	g *stream.Group
+
+	appends *stats.Counter
+	slides  *stats.Counter
+
+	cur []atomic.Pointer[streamGen] // per-pattern prepared-session cache
+}
+
+// OpenStreamGroup opens a streaming session group over the given
+// patterns, wired to the engine's observability, chaos injection,
+// worker pool, deadline, and retry policy. Leaf chunks are combed with
+// the sequential variant of the engine's solve configuration, like
+// OpenStream; the group fans per-pattern work out across the engine's
+// pool instead.
+//
+// The group counters (stream_groups_opened, stream_group_patterns,
+// stream_group_appends, stream_group_slides) register in the engine's
+// stats on first use, so engines that never open groups report the same
+// counter set as before.
+func (e *Engine) OpenStreamGroup(patterns [][]byte) (*StreamGroup, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	leafCfg, _ := degradeConfig(e.cfg)
+	if leafCfg == (core.Config{}) {
+		leafCfg = stream.DefaultSolveConfig()
+	}
+	g, err := stream.NewGroup(patterns, stream.GroupConfig{
+		Solve:  &leafCfg,
+		Obs:    e.rec,
+		Chaos:  e.inj,
+		Tuning: e.tn,
+		Pool:   e.pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.reg.Counter("stream_groups_opened").Inc()
+	e.reg.Counter("stream_group_patterns").Add(int64(g.Patterns()))
+	return &StreamGroup{
+		e:       e,
+		g:       g,
+		appends: e.reg.Counter("stream_group_appends"),
+		slides:  e.reg.Counter("stream_group_slides"),
+		cur:     make([]atomic.Pointer[streamGen], g.Patterns()),
+	}, nil
+}
+
+// Append extends the shared window with one chunk across every pattern,
+// under the engine's deadline and retry policy. A failed append leaves
+// every spine on its previous generation; retrying the same chunk is
+// always meaningful.
+func (sg *StreamGroup) Append(ctx context.Context, chunk []byte) error {
+	if sg.e.closed.Load() {
+		return ErrEngineClosed
+	}
+	sg.appends.Inc()
+	return sg.mutate(ctx, func() error { return sg.g.Append(chunk) })
+}
+
+// Slide drops the drop oldest chunks from the shared window, in
+// lockstep across every pattern, under the same deadline and retry
+// semantics as Append.
+func (sg *StreamGroup) Slide(ctx context.Context, drop int) error {
+	if sg.e.closed.Load() {
+		return ErrEngineClosed
+	}
+	sg.slides.Inc()
+	return sg.mutate(ctx, func() error { return sg.g.Slide(drop) })
+}
+
+// mutate runs one group mutation under the engine's default deadline
+// and transient-retry policy.
+func (sg *StreamGroup) mutate(ctx context.Context, op func() error) error {
+	if sg.e.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sg.e.deadline)
+		defer cancel()
+	}
+	return sg.e.retryTransient(ctx, "stream group mutation", func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return op()
+	})
+}
+
+// Session returns the prepared query session for pattern i's latest
+// published generation, building the dominance structure at most once
+// per pattern per generation (concurrent callers racing a fresh
+// generation may build twice; the kernel's internal sync.Once keeps
+// that safe and the last-stored cache wins).
+func (sg *StreamGroup) Session(i int) *Session {
+	cur := sg.g.Snapshot(i)
+	if g := sg.cur[i].Load(); g != nil && g.gen == cur.Gen {
+		return g.sess
+	}
+	sess := NewSession(cur.Kernel)
+	sg.cur[i].Store(&streamGen{gen: cur.Gen, sess: sess})
+	return sess
+}
+
+// Query answers one request kind against pattern i's latest published
+// generation, validating ranges like BatchSolve does (errors instead of
+// panics). Request.A/B, Config and Timeout are ignored: the pair is
+// pattern i and the shared window.
+func (sg *StreamGroup) Query(i int, req Request) Result {
+	sess := sg.Session(i)
+	if err := req.Kind.validate(req.From, req.To, req.Width, sess.M(), sess.N()); err != nil {
+		return Result{Err: err}
+	}
+	qsp := sg.e.rec.Start(obs.StageQuery)
+	res := answer(sess, req)
+	qsp.End()
+	return res
+}
+
+// Patterns returns the number of patterns the group serves.
+func (sg *StreamGroup) Patterns() int { return sg.g.Patterns() }
+
+// DistinctPatterns returns the number of spines the group actually
+// maintains (exact duplicate patterns share one).
+func (sg *StreamGroup) DistinctPatterns() int { return sg.g.DistinctPatterns() }
+
+// M returns the length of pattern i.
+func (sg *StreamGroup) M(i int) int { return sg.g.M(i) }
+
+// State returns pattern i's latest published generation.
+func (sg *StreamGroup) State(i int) stream.State { return sg.g.Snapshot(i) }
+
+// GroupState returns the latest published group-wide generation.
+func (sg *StreamGroup) GroupState() stream.GroupState { return sg.g.Current() }
+
+// Generation returns the latest published group generation number.
+func (sg *StreamGroup) Generation() uint64 { return sg.g.Generation() }
+
+// Window returns the published shared window length in bytes.
+func (sg *StreamGroup) Window() int { return sg.g.Window() }
+
+// Leaves returns the published number of chunks in the shared window.
+func (sg *StreamGroup) Leaves() int { return sg.g.Leaves() }
+
+// Compositions returns the total steady-ant compositions across all
+// member spines.
+func (sg *StreamGroup) Compositions() int64 { return sg.g.Compositions() }
+
+// LeafSolves returns the total leaf chunk solves performed — one per
+// relabeling class per append.
+func (sg *StreamGroup) LeafSolves() int64 { return sg.g.LeafSolves() }
+
+// LeafShares returns the total per-pattern leaf solves avoided by the
+// shared text-side pass.
+func (sg *StreamGroup) LeafShares() int64 { return sg.g.LeafShares() }

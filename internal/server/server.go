@@ -24,6 +24,7 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -382,6 +383,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("server: script of %d ops exceeds limit %d", len(sr.Ops), s.maxBatch))
 		return
 	}
+	if len(sr.Patterns) > 0 || len(sr.Patterns64) > 0 {
+		s.handleStreamGroup(w, r, sr)
+		return
+	}
 	pattern, err := pairBytes(sr.Pattern, sr.Pattern64, "pattern")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -424,6 +429,151 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StreamResponse{Shard: slot.id, Results: results})
 }
 
+// groupPatterns resolves and validates the multi-pattern set of a
+// group stream request: one spelling only, at most maxBatch patterns,
+// and at most maxPair total pattern bytes (group leaf work per append
+// scales with the distinct pattern mass, so the wire bounds it like an
+// input pair).
+func (s *Server) groupPatterns(sr StreamRequest) ([][]byte, error) {
+	if sr.Pattern != "" || sr.Pattern64 != "" {
+		return nil, errors.New("server: both pattern and patterns set")
+	}
+	if len(sr.Patterns) > 0 && len(sr.Patterns64) > 0 {
+		return nil, errors.New("server: both patterns and patterns64 set")
+	}
+	var patterns [][]byte
+	if len(sr.Patterns) > 0 {
+		patterns = make([][]byte, len(sr.Patterns))
+		for i, p := range sr.Patterns {
+			patterns[i] = []byte(p)
+		}
+	} else {
+		patterns = make([][]byte, len(sr.Patterns64))
+		for i, p64 := range sr.Patterns64 {
+			raw, err := base64.StdEncoding.DecodeString(p64)
+			if err != nil {
+				return nil, fmt.Errorf("server: bad patterns64[%d]: %w", i, err)
+			}
+			patterns[i] = raw
+		}
+	}
+	if len(patterns) > s.maxBatch {
+		return nil, fmt.Errorf("server: %d patterns exceeds limit %d", len(patterns), s.maxBatch)
+	}
+	total := 0
+	for _, p := range patterns {
+		total += len(p)
+	}
+	if total > s.maxPair {
+		return nil, fmt.Errorf("server: patterns total %d bytes exceeds limit %d", total, s.maxPair)
+	}
+	return patterns, nil
+}
+
+// groupRouteKey frames the pattern set into one routing key: each
+// pattern length-prefixed, so distinct sets never collide by
+// concatenation. The whole group lives on this key's home shard.
+func groupRouteKey(patterns [][]byte) []byte {
+	key := make([]byte, 0, 4*len(patterns)+64)
+	for _, p := range patterns {
+		key = append(key, byte(len(p)), byte(len(p)>>8), byte(len(p)>>16), byte(len(p)>>24))
+		key = append(key, p...)
+	}
+	return key
+}
+
+// handleStreamGroup serves the multi-pattern form of POST /v1/stream:
+// the whole op script runs against one session group on the shard
+// owning the pattern set's content hash. Mutation semantics are the
+// group's — a failed append or slide touched no spine, so later ops
+// still answer against a consistent group-wide generation.
+func (s *Server) handleStreamGroup(w http.ResponseWriter, r *http.Request, sr StreamRequest) {
+	patterns, err := s.groupPatterns(sr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n := len(sr.Ops)
+	s.requests.Add(int64(n))
+	s.rec.Add(obs.CounterServerRequests, int64(n))
+
+	// All-or-nothing admission, as for single-pattern scripts.
+	if admitted := s.tenants.admit(sr.Tenant, n); admitted < n {
+		s.tenants.release(sr.Tenant, admitted)
+		s.rejects.Add(int64(n))
+		s.rec.Add(obs.CounterTenantRejects, int64(n))
+		httpError(w, http.StatusTooManyRequests, ErrTenantQuota.Error())
+		return
+	}
+	defer s.tenants.release(sr.Tenant, n)
+
+	slot, err := s.route(groupRouteKey(patterns), nil)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	sg, err := slot.eng.OpenStreamGroup(patterns)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	results := make([]StreamOpResult, n)
+	ctx := r.Context()
+	for i, op := range sr.Ops {
+		results[i] = s.streamGroupOp(ctx, sg, op)
+	}
+	writeJSON(w, http.StatusOK, StreamResponse{
+		Shard:    slot.id,
+		Patterns: sg.Patterns(),
+		Distinct: sg.DistinctPatterns(),
+		Results:  results,
+	})
+}
+
+// streamGroupOp executes one op against the session group.
+func (s *Server) streamGroupOp(ctx context.Context, sg *query.StreamGroup, op WireOp) StreamOpResult {
+	fail := func(err error) StreamOpResult {
+		return StreamOpResult{Error: err.Error(), ErrorKind: errorKind(err)}
+	}
+	switch op.Op {
+	case "append":
+		chunk, err := pairBytes(op.Chunk, op.Chunk64, "chunk")
+		if err != nil {
+			return fail(err)
+		}
+		if len(chunk) > s.maxPair {
+			return fail(fmt.Errorf("server: chunk %d bytes exceeds limit %d: %w", len(chunk), s.maxPair, errPairTooLarge))
+		}
+		if err := sg.Append(ctx, chunk); err != nil {
+			return fail(err)
+		}
+	case "slide":
+		if err := sg.Slide(ctx, op.N); err != nil {
+			return fail(err)
+		}
+	case "query":
+		if op.Pat < 0 || op.Pat >= sg.Patterns() {
+			return fail(fmt.Errorf("server: pattern index %d out of range (%d patterns)", op.Pat, sg.Patterns()))
+		}
+		kind, err := query.ParseKind(op.Kind)
+		if err != nil {
+			return fail(err)
+		}
+		res := sg.Query(op.Pat, query.Request{Kind: kind, From: op.From, To: op.To, Width: op.Width})
+		if res.Err != nil {
+			return fail(res.Err)
+		}
+		return StreamOpResult{
+			Pat:   op.Pat,
+			Score: res.Score, From: res.From, Windows: res.Windows,
+			Gen: sg.Generation(), Window: sg.Window(), Leaves: sg.Leaves(),
+		}
+	default:
+		return fail(fmt.Errorf("server: unknown op %q (want append, slide or query)", op.Op))
+	}
+	return StreamOpResult{Gen: sg.Generation(), Window: sg.Window(), Leaves: sg.Leaves()}
+}
+
 // streamOp executes one op against the stream.
 func (s *Server) streamOp(ctx context.Context, st *query.Stream, op WireOp) StreamOpResult {
 	fail := func(err error) StreamOpResult {
@@ -446,6 +596,9 @@ func (s *Server) streamOp(ctx context.Context, st *query.Stream, op WireOp) Stre
 			return fail(err)
 		}
 	case "query":
+		if op.Pat != 0 {
+			return fail(fmt.Errorf("server: pattern index %d on a single-pattern stream (use patterns for group mode)", op.Pat))
+		}
 		kind, err := query.ParseKind(op.Kind)
 		if err != nil {
 			return fail(err)

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -366,6 +367,116 @@ func TestServerHealthDownShards(t *testing.T) {
 	}
 }
 
+// TestServerRebalanceDrill is the ring rebalance drill: shards leave
+// and rejoin the tier mid-load — SetShardHealth is operationally the
+// routing change of a ring remove/add — while concurrent differential
+// batches keep flowing. Every answer stays bit-identical to the
+// fault-free oracle through both transitions, the traffic that left
+// the down shard is visible in server_reroutes, and the ring-level
+// rebalance property is pinned on the same tier: removing a shard
+// moves exactly the keys it owned (each to a survivor, within the
+// fair-share movement bound) and re-adding it restores the original
+// assignment key for key.
+func TestServerRebalanceDrill(t *testing.T) {
+	wire, direct := wireWorkload()
+	want := directOracle(t, direct)
+
+	s, ts := newTestServer(t, Config{Shards: 4})
+	const workers = 4
+	post := func() (BatchResponse, error) {
+		body, err := json.Marshal(BatchRequest{Requests: wire})
+		if err != nil {
+			return BatchResponse{}, err
+		}
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return BatchResponse{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return BatchResponse{}, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var br BatchResponse
+		return br, json.NewDecoder(resp.Body).Decode(&br)
+	}
+	// Each round fans the workload out across concurrent posters while
+	// the main goroutine drives the shard membership schedule between
+	// rounds: shard 2 leaves, rejoins, then shard 0 leaves and rejoins.
+	for round := 0; round < 8; round++ {
+		switch round {
+		case 2:
+			s.SetShardHealth(2, false)
+		case 4:
+			s.SetShardHealth(2, true)
+			s.SetShardHealth(0, false)
+		case 6:
+			s.SetShardHealth(0, true)
+		}
+		type outcome struct {
+			br  BatchResponse
+			err error
+		}
+		results := make(chan outcome, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				br, err := post()
+				results <- outcome{br, err}
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			oc := <-results
+			if oc.err != nil {
+				t.Fatalf("round %d: post failed: %v", round, oc.err)
+			}
+			if len(oc.br.Results) != len(want) {
+				t.Fatalf("round %d: %d results, want %d", round, len(oc.br.Results), len(want))
+			}
+			for i, r := range oc.br.Results {
+				if r.Error != "" {
+					t.Fatalf("round %d request %d: a healthy-majority tier must answer, got %s (%s)",
+						round, i, r.Error, r.ErrorKind)
+				}
+				if !sameAnswer(r, want[i]) {
+					t.Errorf("round %d request %d: rebalanced answer diverged: %+v", round, i, r)
+				}
+			}
+		}
+	}
+	if rerouted := s.Stats()["server_reroutes"]; rerouted == 0 {
+		t.Error("a drill that downs two home shards must reroute some traffic")
+	}
+
+	// Ring-level rebalance property on this tier's own ring: the health
+	// toggle above is routing-equivalent to this remove/add pair.
+	rng := rand.New(rand.NewSource(0x11aa))
+	keys := randKeys(rng, 4000)
+	removed := s.ring.remove(2)
+	moved := 0
+	for _, k := range keys {
+		was, is := s.ring.lookup(k), removed.lookup(k)
+		if was != is {
+			if was != 2 {
+				t.Fatalf("key on surviving shard moved %d → %d on removal of shard 2", was, is)
+			}
+			moved++
+		} else if was == 2 {
+			t.Fatal("key still maps to the removed shard")
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removing a shard moved no keys")
+	}
+	if moved > len(keys)/2 {
+		t.Errorf("removing 1 of 4 shards moved %d/%d keys, want ≤ half", moved, len(keys))
+	}
+	rejoined := removed.add(2)
+	for _, k := range keys {
+		if rejoined.lookup(k) != s.ring.lookup(k) {
+			t.Fatal("re-adding the shard did not restore the original assignment")
+		}
+	}
+}
+
 // TestServerTenantQuota: a batch larger than the tenant's quota admits
 // the head and rejects the tail typed; quota drains after the call so
 // the next batch is admitted again; other tenants are unaffected.
@@ -497,6 +608,201 @@ func TestServerStreamAffinity(t *testing.T) {
 		if resp.Shard != first.Shard {
 			t.Fatalf("pattern moved shard %d → %d between calls", first.Shard, resp.Shard)
 		}
+	}
+}
+
+// TestServerStreamGroupDifferential: the multi-pattern form of
+// /v1/stream answers every pattern's queries exactly like independent
+// single-pattern engine streams fed the same chunks, while reporting
+// the duplicate-collapsed spine count.
+func TestServerStreamGroupDifferential(t *testing.T) {
+	patterns := []string{"gattaca", "tac", "gattaca", "quick brown"}
+	ops := []WireOp{
+		{Op: "append", Chunk: "the quick brown fox"},
+		{Op: "query", Kind: "score"},
+		{Op: "query", Kind: "score", Pat: 1},
+		{Op: "append", Chunk: " jumps over the lazy dog"},
+		{Op: "query", Kind: "best-window", Width: 7, Pat: 3},
+		{Op: "query", Kind: "windows", Width: 5, Pat: 1},
+		{Op: "slide", N: 1},
+		{Op: "query", Kind: "score", Pat: 2},
+		{Op: "query", Kind: "suffix-prefix", From: 1, To: 6, Pat: 0},
+	}
+
+	// Direct oracle: one independent engine stream per pattern.
+	e := query.NewEngine(query.Options{})
+	defer e.Close()
+	ctx := context.Background()
+	sts := make([]*query.Stream, len(patterns))
+	for i, p := range patterns {
+		var err error
+		if sts[i], err = e.OpenStream([]byte(p)); err != nil {
+			t.Fatalf("OpenStream %d: %v", i, err)
+		}
+	}
+	var want []query.Result
+	for _, op := range ops {
+		switch op.Op {
+		case "append":
+			for i := range sts {
+				if err := sts[i].Append(ctx, []byte(op.Chunk)); err != nil {
+					t.Fatalf("direct append: %v", err)
+				}
+			}
+			want = append(want, query.Result{})
+		case "slide":
+			for i := range sts {
+				if err := sts[i].Slide(ctx, op.N); err != nil {
+					t.Fatalf("direct slide: %v", err)
+				}
+			}
+			want = append(want, query.Result{})
+		case "query":
+			kind, err := query.ParseKind(op.Kind)
+			if err != nil {
+				t.Fatalf("kind: %v", err)
+			}
+			res := sts[op.Pat].Query(query.Request{Kind: kind, From: op.From, To: op.To, Width: op.Width})
+			if res.Err != nil {
+				t.Fatalf("direct query: %v", res.Err)
+			}
+			want = append(want, res)
+		}
+	}
+
+	_, ts := newTestServer(t, Config{Shards: 4})
+	var resp StreamResponse
+	if code := postJSON(t, ts.URL+"/v1/stream", StreamRequest{Patterns: patterns, Ops: ops}, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if resp.Patterns != 4 || resp.Distinct != 3 {
+		t.Fatalf("patterns=%d distinct=%d, want 4 and 3 (duplicate gattaca collapses)", resp.Patterns, resp.Distinct)
+	}
+	if len(resp.Results) != len(ops) {
+		t.Fatalf("got %d op results, want %d", len(resp.Results), len(ops))
+	}
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("op %d failed over HTTP: %s (%s)", i, r.Error, r.ErrorKind)
+		}
+		if ops[i].Op != "query" {
+			continue
+		}
+		if r.Pat != ops[i].Pat {
+			t.Errorf("op %d answered for pattern %d, want %d", i, r.Pat, ops[i].Pat)
+		}
+		if r.Score != want[i].Score || r.From != want[i].From || len(r.Windows) != len(want[i].Windows) {
+			t.Errorf("op %d: HTTP %+v != direct %+v", i, r, want[i])
+		}
+		for j := range r.Windows {
+			if r.Windows[j] != want[i].Windows[j] {
+				t.Errorf("op %d window %d diverged", i, j)
+			}
+		}
+	}
+	if resp.Shard < 0 || resp.Shard >= 4 {
+		t.Errorf("group shard %d out of range", resp.Shard)
+	}
+}
+
+// TestServerStreamGroupAffinity: a pattern set is content-addressed as
+// a whole — the same set always lands on one shard.
+func TestServerStreamGroupAffinity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 4})
+	req := StreamRequest{
+		Patterns: []string{"sticky", "group", "sticky"},
+		Ops:      []WireOp{{Op: "append", Chunk: "abcdef"}},
+	}
+	var first StreamResponse
+	postJSON(t, ts.URL+"/v1/stream", req, &first)
+	for i := 0; i < 5; i++ {
+		var resp StreamResponse
+		if code := postJSON(t, ts.URL+"/v1/stream", req, &resp); code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		if resp.Shard != first.Shard {
+			t.Fatalf("pattern set moved shard %d → %d between calls", first.Shard, resp.Shard)
+		}
+	}
+}
+
+// TestServerStreamGroupErrors pins the group wire's failure surface:
+// ambiguous or oversized pattern sets are whole-call 4xx errors, while
+// a bad pattern index fails only its own op slot.
+func TestServerStreamGroupErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Shards:       2,
+		MaxBatch:     4,
+		MaxPairBytes: 64,
+	})
+	post := func(body string) (int, errorBody) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/stream", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		var eb errorBody
+		raw, _ := io.ReadAll(resp.Body)
+		_ = json.Unmarshal(raw, &eb)
+		return resp.StatusCode, eb
+	}
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"pattern and patterns", `{"pattern": "p", "patterns": ["q"], "ops": []}`, http.StatusBadRequest},
+		{"pattern64 and patterns", `{"pattern64": "cA==", "patterns": ["q"], "ops": []}`, http.StatusBadRequest},
+		{"patterns and patterns64", `{"patterns": ["p"], "patterns64": ["cQ=="], "ops": []}`, http.StatusBadRequest},
+		{"bad patterns64", `{"patterns64": ["!!!"], "ops": []}`, http.StatusBadRequest},
+		{"too many patterns", `{"patterns": ["a","b","c","d","e"], "ops": []}`, http.StatusBadRequest},
+		{"patterns too large", `{"patterns": ["` + strings.Repeat("x", 40) + `", "` + strings.Repeat("y", 40) + `"], "ops": []}`, http.StatusBadRequest},
+		{"valid group", `{"patterns": ["ab", "ba"], "ops": [{"op": "append", "chunk": "abba"}]}`, http.StatusOK},
+	}
+	for _, tc := range cases {
+		code, eb := post(tc.body)
+		if code != tc.code {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, code, tc.code, eb.Error)
+		}
+		if code >= 400 && eb.Error == "" {
+			t.Errorf("%s: %d response without JSON error body", tc.name, code)
+		}
+	}
+
+	// Per-op failures: out-of-range pattern index in group mode, and a
+	// pattern index on a single-pattern stream — each fails its slot
+	// only, later ops keep answering.
+	var resp StreamResponse
+	if code := postJSON(t, ts.URL+"/v1/stream", StreamRequest{
+		Patterns: []string{"ab", "ba"},
+		Ops: []WireOp{
+			{Op: "append", Chunk: "abba"},
+			{Op: "query", Kind: "score", Pat: 2},
+			{Op: "query", Kind: "score", Pat: -1},
+			{Op: "query", Kind: "score", Pat: 1},
+		},
+	}, &resp); code != http.StatusOK {
+		t.Fatalf("group status = %d", code)
+	}
+	if resp.Results[1].ErrorKind != "invalid" || resp.Results[2].ErrorKind != "invalid" {
+		t.Errorf("out-of-range pattern indices must fail typed: %+v", resp.Results[1:3])
+	}
+	if resp.Results[3].Error != "" || resp.Results[3].Score != 2 {
+		t.Errorf("in-range query after failed ops: %+v", resp.Results[3])
+	}
+	var sresp StreamResponse
+	if code := postJSON(t, ts.URL+"/v1/stream", StreamRequest{
+		Pattern: "ab",
+		Ops: []WireOp{
+			{Op: "append", Chunk: "abba"},
+			{Op: "query", Kind: "score", Pat: 1},
+		},
+	}, &sresp); code != http.StatusOK {
+		t.Fatalf("single status = %d", code)
+	}
+	if sresp.Results[1].ErrorKind != "invalid" {
+		t.Errorf("pat on a single-pattern stream must fail typed: %+v", sresp.Results[1])
 	}
 }
 

@@ -74,20 +74,35 @@ type BatchResponse struct {
 // StreamRequest is the body of POST /v1/stream: one op script executed
 // in order against a streaming session for Pattern, on the shard that
 // owns the pattern's content hash.
+//
+// Setting Patterns (or Patterns64) instead runs the script against a
+// multi-pattern session group: every append/slide mutates all pattern
+// spines in lockstep with the chunk's text-side work shared across
+// patterns, query ops address a pattern by index via WireOp.Pat, and
+// the whole group lives on the shard owning the concatenated patterns'
+// content hash. Exactly one spelling of the pattern set may be used —
+// Pattern/Pattern64 and Patterns/Patterns64 are mutually exclusive.
 type StreamRequest struct {
 	Tenant    string   `json:"tenant,omitempty"`
 	Pattern   string   `json:"pattern,omitempty"`
 	Pattern64 string   `json:"pattern64,omitempty"`
-	Ops       []WireOp `json:"ops"`
+	Patterns  []string `json:"patterns,omitempty"`
+	// Patterns64 carries the group patterns base64-coded, element for
+	// element; mutually exclusive with Patterns.
+	Patterns64 []string `json:"patterns64,omitempty"`
+	Ops        []WireOp `json:"ops"`
 }
 
 // WireOp is one stream operation: {"op":"append","chunk":...},
-// {"op":"slide","n":...}, or {"op":"query","kind":...,...}.
+// {"op":"slide","n":...}, or {"op":"query","kind":...,...}. In group
+// mode a query op answers for pattern index Pat (default 0); append
+// and slide always mutate the whole group.
 type WireOp struct {
 	Op      string `json:"op"`
 	Chunk   string `json:"chunk,omitempty"`
 	Chunk64 string `json:"chunk64,omitempty"`
 	N       int    `json:"n,omitempty"`
+	Pat     int    `json:"pat,omitempty"`
 	Kind    string `json:"kind,omitempty"`
 	From    int    `json:"from,omitempty"`
 	To      int    `json:"to,omitempty"`
@@ -95,12 +110,14 @@ type WireOp struct {
 }
 
 // StreamOpResult is one executed op: mutations report the published
-// generation, queries report their answer, failures carry the error in
-// place (later ops still run against the last consistent generation).
+// generation, queries report their answer (echoing the group pattern
+// index in Pat), failures carry the error in place (later ops still
+// run against the last consistent generation).
 type StreamOpResult struct {
 	Gen       uint64 `json:"gen,omitempty"`
 	Window    int    `json:"window,omitempty"`
 	Leaves    int    `json:"leaves,omitempty"`
+	Pat       int    `json:"pat,omitempty"`
 	Score     int    `json:"score"`
 	From      int    `json:"from,omitempty"`
 	Windows   []int  `json:"windows,omitempty"`
@@ -108,10 +125,14 @@ type StreamOpResult struct {
 	ErrorKind string `json:"error_kind,omitempty"`
 }
 
-// StreamResponse is the body of a successful /v1/stream call.
+// StreamResponse is the body of a successful /v1/stream call. Group
+// calls additionally report the pattern count and the number of
+// distinct spines actually maintained (duplicate patterns collapse).
 type StreamResponse struct {
-	Shard   int              `json:"shard"`
-	Results []StreamOpResult `json:"results"`
+	Shard    int              `json:"shard"`
+	Patterns int              `json:"patterns,omitempty"`
+	Distinct int              `json:"distinct,omitempty"`
+	Results  []StreamOpResult `json:"results"`
 }
 
 // errorBody is the JSON shape of every HTTP-level error response.

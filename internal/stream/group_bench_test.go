@@ -1,0 +1,155 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPatterns builds P patterns drawn from a pool of 16 distinct
+// patterns — 4 binary shapes × 4 alphabet shifts — the serving shape
+// where many users register the same popular patterns or trivial
+// relabelings of them. The group collapses the exact duplicates into
+// ≤16 spines at construction, and against a chunk disjoint from every
+// pattern alphabet the canonical-key pass further dedups the 16
+// remaining leaf solves into 4 relabeling classes.
+func benchPatterns(p int) [][]byte {
+	const m = 16
+	pats := make([][]byte, p)
+	for i := range pats {
+		shape := i % 4
+		shift := byte(2 * ((i / 4) % 4))
+		b := make([]byte, m)
+		for j := range b {
+			if (j>>(shape%4))&1 == 1 {
+				b[j] = 'a' + shift
+			} else {
+				b[j] = 'b' + shift
+			}
+		}
+		pats[i] = b
+	}
+	return pats
+}
+
+// benchDistinctPatterns builds P pairwise-distinct patterns with
+// (almost surely) distinct relabeling classes against any chunk — the
+// adversarial case where the shared pass can dedup nothing.
+func benchDistinctPatterns(p int) [][]byte {
+	const m = 16
+	pats := make([][]byte, p)
+	state := uint64(0x243F6A8885A308D3)
+	for i := range pats {
+		b := make([]byte, m)
+		for j := range b {
+			state = state*6364136223846793005 + 1442695040888963407
+			b[j] = 'a' + byte(state>>60)%4
+		}
+		pats[i] = b
+	}
+	return pats
+}
+
+var groupBenchChunk = func() []byte {
+	b := make([]byte, 64)
+	for i := range b {
+		if i%2 == 0 {
+			b[i] = 'y'
+		} else {
+			b[i] = 'z'
+		}
+	}
+	return b
+}()
+
+// BenchmarkGroupAppend measures one steady-state group mutation round
+// (slide one leaf, append one chunk) advancing all P patterns at once.
+// Compare against BenchmarkIndependentAppend at the same P for the
+// shared-vs-independent scaling table in EXPERIMENTS.md.
+func BenchmarkGroupAppend(b *testing.B) {
+	for _, p := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			g, err := NewGroup(benchPatterns(p), GroupConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				if err := g.Append(groupBenchChunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Slide(1); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.Append(groupBenchChunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndependentAppend is the baseline: P standalone sessions
+// each performing the same steady-state round — the cost the group's
+// shared text-side pass amortizes away.
+func BenchmarkIndependentAppend(b *testing.B) {
+	for _, p := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			pats := benchPatterns(p)
+			sessions := make([]*Session, p)
+			for i := range sessions {
+				s, err := New(pats[i], Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 8; j++ {
+					if err := s.Append(groupBenchChunk); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sessions[i] = s
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, s := range sessions {
+					if err := s.Slide(1); err != nil {
+						b.Fatal(err)
+					}
+					if err := s.Append(groupBenchChunk); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupAppendDistinct is the no-sharing adversarial case:
+// P pairwise-distinct relabeling classes, so the group does P leaf
+// solves per append like the independent baseline — pinning that the
+// shared pass costs ~nothing when it cannot help.
+func BenchmarkGroupAppendDistinct(b *testing.B) {
+	for _, p := range []int{16, 256} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			g, err := NewGroup(benchDistinctPatterns(p), GroupConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				if err := g.Append(groupBenchChunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Slide(1); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.Append(groupBenchChunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

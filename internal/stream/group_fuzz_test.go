@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStreamGroup drives a session group through a fuzzer-chosen op
+// sequence — appends, slides, checkpoints — against per-pattern oracle
+// sessions fed the identical mutations, checking at every checkpoint
+// (and at the end) that every pattern's snapshot is bit-identical to
+// its independent session and to a from-scratch solve, all spines in
+// lockstep.
+//
+// Decoding: the pats argument splits on 0x00 into up to 4 patterns of
+// ≤8 bytes (falling back to one "a" pattern when empty); ops decode as
+// in FuzzStreamAppend — b%8 == 6 slides by (b>>3) mod (leaves+1), 7 is
+// a checkpoint, anything else appends (b>>3)%7+1 bytes drawn cyclically
+// from the text argument. The window is capped at 40 bytes so the P+1
+// from-scratch references stay cheap under fuzzing throughput.
+func FuzzStreamGroup(f *testing.F) {
+	f.Add([]byte("ab\x00ba\x00ab"), []byte{0x09, 0x11, 0x3f, 0x0e, 0x36, 0x07, 0x1f}, []byte("mississippi"))
+	f.Add([]byte("AA\x00CC\x00GG"), []byte{0x08, 0x08, 0x07, 0x3e, 0x0f, 0x07}, []byte("TTTT"))
+	f.Add([]byte(""), []byte{0x21, 0x07, 0x16, 0x3f}, []byte("zzz"))
+	f.Add([]byte("aaaa\x00\x00bb"), bytes.Repeat([]byte{0x08, 0x0f, 0x07}, 8), []byte("ab"))
+	f.Fuzz(func(t *testing.T, pats, ops, text []byte) {
+		var patterns [][]byte
+		for _, p := range bytes.Split(pats, []byte{0}) {
+			if len(p) > 8 {
+				p = p[:8]
+			}
+			patterns = append(patterns, p)
+			if len(patterns) == 4 {
+				break
+			}
+		}
+		if len(patterns) == 0 {
+			patterns = [][]byte{[]byte("a")}
+		}
+		g, err := NewGroup(patterns, GroupConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirrors := make([]*Session, len(patterns))
+		for i := range mirrors {
+			if mirrors[i], err = New(patterns[i], Config{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var chunks [][]byte
+		windowOf := func() []byte {
+			var w []byte
+			for _, c := range chunks {
+				w = append(w, c...)
+			}
+			return w
+		}
+		total := 0
+		cursor := 0
+		take := func(n int) []byte {
+			out := make([]byte, n)
+			for i := range out {
+				if len(text) == 0 {
+					out[i] = 'x'
+				} else {
+					out[i] = text[(cursor+i)%len(text)]
+				}
+			}
+			cursor += n
+			return out
+		}
+		for i, op := range ops {
+			if i >= 32 {
+				break // bound per-input work
+			}
+			switch op % 8 {
+			case 6:
+				drop := int(op>>3) % (len(chunks) + 1)
+				if err := g.Slide(drop); err != nil {
+					t.Fatalf("op %d: Slide(%d): %v", i, drop, err)
+				}
+				for _, m := range mirrors {
+					if err := m.Slide(drop); err != nil {
+						t.Fatalf("op %d: mirror Slide(%d): %v", i, drop, err)
+					}
+				}
+				for _, c := range chunks[:drop] {
+					total -= len(c)
+				}
+				chunks = chunks[drop:]
+			case 7:
+				checkGroup(t, g, mirrors, windowOf(), "checkpoint")
+			default:
+				n := int(op>>3)%7 + 1
+				if total+n > 40 {
+					continue
+				}
+				c := take(n)
+				if err := g.Append(c); err != nil {
+					t.Fatalf("op %d: Append(%d bytes): %v", i, n, err)
+				}
+				for _, m := range mirrors {
+					if err := m.Append(c); err != nil {
+						t.Fatalf("op %d: mirror Append: %v", i, err)
+					}
+				}
+				chunks = append(chunks, c)
+				total += n
+			}
+		}
+		checkGroup(t, g, mirrors, windowOf(), "final")
+	})
+}

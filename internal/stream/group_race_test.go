@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"semilocal/internal/oracle"
+)
+
+// TestGroupConcurrentQuerySoak hammers one session group with 8 reader
+// goroutines — each pinned to one pattern — while a writer appends and
+// slides group-wide. Readers pin the per-pattern atomic-publish
+// contract: whatever generation a pattern's snapshot shows, its kernel
+// answers exactly like the quadratic DP on that generation's window.
+// Run under -race in the stream and multipat lanes.
+func TestGroupConcurrentQuerySoak(t *testing.T) {
+	patterns := [][]byte{
+		[]byte("concurrent"), []byte("current"), []byte("concurrent"), []byte("rent"),
+	}
+	rng := rand.New(rand.NewSource(3))
+
+	// Build the mutation schedule up front and precompute, per pattern
+	// and generation, the oracle score and window length the readers
+	// verify against. Every op is effective, so op i publishes gen i+1
+	// on every spine.
+	type op struct {
+		chunk []byte // nil means slide
+		drop  int
+	}
+	const numOps = 120
+	var (
+		ops    []op
+		chunks [][]byte
+	)
+	expected := make([][]int, len(patterns)) // pattern → gen → oracle score
+	windows := []int{0}                      // gen → window bytes
+	for i := range expected {
+		expected[i] = []int{0}
+	}
+	windowOf := func() []byte {
+		var w []byte
+		for _, c := range chunks {
+			w = append(w, c...)
+		}
+		return w
+	}
+	for i := 0; i < numOps; i++ {
+		if len(chunks) > 2 && rng.Intn(6) == 0 {
+			drop := 1 + rng.Intn(len(chunks)-1)
+			ops = append(ops, op{drop: drop})
+			chunks = chunks[drop:]
+		} else {
+			c := make([]byte, 1+rng.Intn(6))
+			for j := range c {
+				c[j] = byte('a' + rng.Intn(4))
+			}
+			ops = append(ops, op{chunk: c})
+			chunks = append(chunks, c)
+		}
+		w := windowOf()
+		windows = append(windows, len(w))
+		for p := range patterns {
+			expected[p] = append(expected[p], oracle.Score(patterns[p], w))
+		}
+	}
+
+	g, err := NewGroup(patterns, GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		p := r % len(patterns)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := g.Snapshot(p)
+				if int(st.Gen) >= len(windows) {
+					t.Errorf("pattern %d: reader saw generation %d beyond the schedule", p, st.Gen)
+					return
+				}
+				if st.Window != windows[st.Gen] {
+					t.Errorf("pattern %d gen %d: published window %d bytes, want %d",
+						p, st.Gen, st.Window, windows[st.Gen])
+					return
+				}
+				if got := st.Kernel.Score(); got != expected[p][st.Gen] {
+					t.Errorf("pattern %d gen %d: score %d, oracle says %d", p, st.Gen, got, expected[p][st.Gen])
+					return
+				}
+				// Exercise the dominance structure concurrently too.
+				if st.Window > 0 {
+					if got := st.Kernel.StringSubstring(0, st.Window); got != expected[p][st.Gen] {
+						t.Errorf("pattern %d gen %d: string-substring %d, want %d",
+							p, st.Gen, got, expected[p][st.Gen])
+						return
+					}
+				}
+				// The group generation a reader observes alongside a
+				// snapshot never runs ahead of the spine it just read:
+				// spines publish before the group does.
+				if gg := g.Generation(); int(gg) >= len(windows) {
+					t.Errorf("group generation %d beyond the schedule", gg)
+					return
+				}
+			}
+		}()
+	}
+	for i, o := range ops {
+		if o.chunk != nil {
+			if err := g.Append(o.chunk); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		} else if err := g.Slide(o.drop); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if got := g.Generation(); int(got) != numOps {
+		t.Fatalf("final group generation %d, want %d", got, numOps)
+	}
+	for p := range patterns {
+		if got := g.Snapshot(p).Kernel.Score(); got != expected[p][numOps] {
+			t.Fatalf("pattern %d: final score %d, want %d", p, got, expected[p][numOps])
+		}
+	}
+}

@@ -226,17 +226,36 @@ func (s *Session) Append(chunk []byte) error {
 	if err != nil {
 		return err
 	}
-	kern := k.Permutation().RowToCol()
+	s.pushLeafLocked(k.Permutation().RowToCol(), len(chunk))
+	return nil
+}
+
+// pushLeafLocked installs an already-solved leaf kernel (row→column of
+// P(a, chunk), order m+n) as the window's newest chunk: leaf push, tail
+// merge, publish. The caller holds s.mu and guarantees n ≥ 1 and that
+// the grown window order stays within core.MaxOrder. The kernel slice
+// may be shared with other sessions — it is treated as immutable and
+// never recycled (see node.owned).
+func (s *Session) pushLeafLocked(kern []int32, n int) {
 	idx := s.firstLeaf + len(s.leaves)
-	s.leaves = append(s.leaves, leaf{kern: kern, n: len(chunk)})
-	s.window += len(chunk)
+	s.leaves = append(s.leaves, leaf{kern: kern, n: n})
+	s.window += n
 	// The new leaf joins the spine as a one-leaf node aliasing the
 	// leaf's kernel (owned=false keeps it out of the freelist: leaves
 	// outlive spine surgery).
-	s.spine = append(s.spine, node{kern: kern, lo: idx, hi: idx + 1, bytes: len(chunk)})
+	s.spine = append(s.spine, node{kern: kern, lo: idx, hi: idx + 1, bytes: n})
 	s.mergeTail()
 	s.publishLocked()
-	return nil
+}
+
+// appendLeaf is the group entry point for pushLeafLocked: it takes the
+// session mutex but skips the public Append's fault injection,
+// instrumentation and validation — the owning Group performs those once
+// for the whole fan-out.
+func (s *Session) appendLeaf(kern []int32, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pushLeafLocked(kern, n)
 }
 
 // Slide drops the drop oldest chunks from the window. Spine nodes
@@ -259,6 +278,24 @@ func (s *Session) Slide(drop int) error {
 	if drop == 0 {
 		return nil
 	}
+	s.slideLocked(drop)
+	return nil
+}
+
+// dropLeaves is the group entry point for slideLocked: it takes the
+// session mutex but skips the public Slide's fault injection and
+// instrumentation — the owning Group performs those once for the whole
+// fan-out. The caller guarantees 1 ≤ drop ≤ leaves (the group keeps all
+// spines in lockstep, so it validates against its own leaf count).
+func (s *Session) dropLeaves(drop int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slideLocked(drop)
+}
+
+// slideLocked drops the drop oldest chunks. The caller holds s.mu and
+// guarantees 1 ≤ drop ≤ len(s.leaves).
+func (s *Session) slideLocked(drop int) {
 	cut := s.firstLeaf + drop
 	for i := 0; i < drop; i++ {
 		s.window -= s.leaves[i].n
@@ -291,7 +328,6 @@ func (s *Session) Slide(drop int) error {
 		s.spine = append(s.spine[:0], s.spine[1:]...)
 	}
 	s.publishLocked()
-	return nil
 }
 
 // mergeTail restores the skew binary counter invariant after an

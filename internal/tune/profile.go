@@ -47,9 +47,13 @@ type Profile struct {
 	// CreatedAt records when the calibration ran (RFC 3339);
 	// informational only.
 	CreatedAt string `json:"created_at,omitempty"`
-	// GOOS, GOARCH and NumCPU describe the machine that was calibrated;
-	// informational only (a profile copied across machines still loads,
-	// it is just unlikely to be optimal).
+	// GOOS, GOARCH and NumCPU describe the machine that was calibrated.
+	// LoadOrDefault checks them against the running host: a platform
+	// mismatch (GOOS/GOARCH) rejects the profile — constants measured on
+	// another architecture are noise here — while a CPU count change
+	// keeps the profile but flags it stale (see Stale), since the
+	// sequential axes still transfer. Empty/zero fields are unchecked:
+	// hand-written profiles may omit the host block deliberately.
 	GOOS   string `json:"goos,omitempty"`
 	GOARCH string `json:"goarch,omitempty"`
 	NumCPU int    `json:"num_cpu,omitempty"`
@@ -110,6 +114,38 @@ func parseBitVersion(name string) (bitlcs.Version, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown bit-parallel version %q", name)
+}
+
+// StalePlatform reports whether the profile was calibrated for a
+// different GOOS/GOARCH than the running host. Empty fields are
+// unchecked.
+func (p *Profile) StalePlatform() error {
+	if (p.GOOS != "" && p.GOOS != runtime.GOOS) || (p.GOARCH != "" && p.GOARCH != runtime.GOARCH) {
+		return fmt.Errorf("profile calibrated for %s/%s, host is %s/%s",
+			p.GOOS, p.GOARCH, runtime.GOOS, runtime.GOARCH)
+	}
+	return nil
+}
+
+// StaleCPU reports whether the profile was calibrated with a different
+// CPU count than the running host. A zero field is unchecked.
+func (p *Profile) StaleCPU() error {
+	if p.NumCPU != 0 && p.NumCPU != runtime.NumCPU() {
+		return fmt.Errorf("profile calibrated with %d CPUs, host has %d (consider recalibrating)",
+			p.NumCPU, runtime.NumCPU())
+	}
+	return nil
+}
+
+// Stale reports the first host-identity mismatch between the profile
+// and the running machine, platform first. Callers that kept a
+// CPU-stale profile (see LoadOrDefault) use this for their warning
+// banner.
+func (p *Profile) Stale() error {
+	if err := p.StalePlatform(); err != nil {
+		return err
+	}
+	return p.StaleCPU()
 }
 
 // Validate checks the profile's schema version and value ranges. It is
@@ -218,17 +254,32 @@ func Load(path string) (*Profile, error) {
 
 // LoadOrDefault loads the profile at path, falling back to the untuned
 // Default on any failure — missing file, torn write, corrupt JSON,
-// unknown fields, wrong schema, out-of-range values. The returned
+// unknown fields, wrong schema, out-of-range values, or a profile
+// calibrated for a different platform (GOOS/GOARCH). The returned
 // profile is never nil. Outcomes are counted on rec
-// (obs.CounterProfileLoads / obs.CounterProfileFallbacks) and the
+// (obs.CounterProfileLoads / obs.CounterProfileFallbacks, plus
+// obs.CounterProfileStale for host-identity mismatches) and the
 // fallback cause is returned for logging; a non-nil error therefore
 // means "running untuned", not "failed".
+//
+// A CPU count mismatch alone is warn-level: the profile is kept (the
+// sequential tuning axes still transfer), the stale counter bumps, and
+// the nil error preserves the "non-nil means untuned" contract —
+// callers surface the soft warning via Stale.
 func LoadOrDefault(path string, rec *obs.Recorder) (*Profile, error) {
 	p, err := Load(path)
 	if err != nil {
 		rec.Add(obs.CounterProfileFallbacks, 1)
 		return Default(), err
 	}
+	if err := p.StalePlatform(); err != nil {
+		rec.Add(obs.CounterProfileStale, 1)
+		rec.Add(obs.CounterProfileFallbacks, 1)
+		return Default(), fmt.Errorf("tune: %s: %w", path, err)
+	}
 	rec.Add(obs.CounterProfileLoads, 1)
+	if p.StaleCPU() != nil {
+		rec.Add(obs.CounterProfileStale, 1)
+	}
 	return p, nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -140,6 +141,104 @@ func TestLoadOrDefaultCountsSuccess(t *testing.T) {
 	}
 	if got := rec.Counter(obs.CounterProfileFallbacks); got != 0 {
 		t.Fatalf("profile_fallbacks = %d, want 0", got)
+	}
+}
+
+// otherOS / otherArch / otherCPUs fabricate a host identity that is
+// guaranteed to differ from the running machine, whatever it is.
+func otherOS() string {
+	if runtime.GOOS == "plan9" {
+		return "linux"
+	}
+	return "plan9"
+}
+
+func otherArch() string {
+	if runtime.GOARCH == "wasm" {
+		return "amd64"
+	}
+	return "wasm"
+}
+
+func otherCPUs() int { return runtime.NumCPU() + 3 }
+
+// TestLoadOrDefaultStaleHost is the host-staleness table: a profile
+// calibrated for another platform (GOOS/GOARCH) is rejected — the
+// untuned defaults come back with both the stale and fallback counters
+// bumped — while a CPU count change is warn-level: the profile is kept
+// with a nil error (the "non-nil means untuned" contract holds), the
+// stale counter bumps, and Stale surfaces the message for banners.
+// Empty/zero host fields are unchecked so hand-written profiles and
+// test fixtures keep loading cleanly.
+func TestLoadOrDefaultStaleHost(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+		reject bool // platform mismatch: fall back to Default
+		stale  int64
+	}{
+		{"wrong-goos", func(p *Profile) { p.GOOS = otherOS() }, true, 1},
+		{"wrong-goarch", func(p *Profile) { p.GOARCH = otherArch() }, true, 1},
+		{"wrong-platform-and-cpus", func(p *Profile) { p.GOOS = otherOS(); p.NumCPU = otherCPUs() }, true, 1},
+		{"wrong-cpus", func(p *Profile) { p.NumCPU = otherCPUs() }, false, 1},
+		{"no-host-block", func(p *Profile) { p.GOOS = ""; p.GOARCH = ""; p.NumCPU = 0 }, false, 0},
+		{"matching-host", func(p *Profile) {}, false, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prof := Default()
+			prof.Core.CombMinChunk = 2048
+			tc.mutate(prof)
+			path := filepath.Join(t.TempDir(), "profile.json")
+			if err := prof.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			// Staleness is a host check, not a schema check: Load itself
+			// must keep accepting the file.
+			if _, err := Load(path); err != nil {
+				t.Fatalf("Load rejected a schema-valid profile: %v", err)
+			}
+			rec := obs.New()
+			p, err := LoadOrDefault(path, rec)
+			if got := rec.Counter(obs.CounterProfileStale); got != tc.stale {
+				t.Fatalf("profile_stale = %d, want %d", got, tc.stale)
+			}
+			if tc.reject {
+				if err == nil {
+					t.Fatal("platform-stale profile loaded without error")
+				}
+				if !reflect.DeepEqual(p, Default()) {
+					t.Fatalf("platform-stale fallback is not the default: %+v", p)
+				}
+				if got := rec.Counter(obs.CounterProfileFallbacks); got != 1 {
+					t.Fatalf("profile_fallbacks = %d, want 1", got)
+				}
+				if got := rec.Counter(obs.CounterProfileLoads); got != 0 {
+					t.Fatalf("profile_loads = %d, want 0", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("warn-level staleness must not report untuned: %v", err)
+			}
+			if !reflect.DeepEqual(p, prof) {
+				t.Fatalf("loaded %+v, want the saved profile %+v", p, prof)
+			}
+			if got := rec.Counter(obs.CounterProfileLoads); got != 1 {
+				t.Fatalf("profile_loads = %d, want 1", got)
+			}
+			if got := rec.Counter(obs.CounterProfileFallbacks); got != 0 {
+				t.Fatalf("profile_fallbacks = %d, want 0", got)
+			}
+			if tc.stale > 0 {
+				if p.Stale() == nil || p.StaleCPU() == nil {
+					t.Fatal("kept CPU-stale profile must still report Stale for banners")
+				}
+			} else if p.Stale() != nil {
+				t.Fatalf("fresh profile reports stale: %v", p.Stale())
+			}
+		})
 	}
 }
 

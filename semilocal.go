@@ -301,12 +301,53 @@ func NewStreamSession(a []byte, cfg StreamConfig) (*StreamSession, error) {
 // Open one with Engine.OpenStream.
 type EngineStream = query.Stream
 
+// Multi-pattern streaming: a session group holds P fixed patterns
+// against one shared chunked window and mutates every per-pattern
+// spine in lockstep. The text-side work of each mutation — the chunk
+// scan, relabeling tables and rolling window hash — runs once for the
+// whole group, patterns that induce the same relabeling class share
+// one leaf solve, and exact duplicate patterns collapse onto a single
+// spine. Per-pattern snapshots stay lock-free.
+
+// StreamGroup maintains P pattern kernels over one shared sliding
+// window; see internal/stream.
+type StreamGroup = stream.Group
+
+// StreamGroupConfig configures NewStreamGroup; the zero value is
+// usable.
+type StreamGroupConfig = stream.GroupConfig
+
+// StreamGroupState is one published group-wide generation: window
+// geometry plus every pattern's kernel state at the same instant.
+type StreamGroupState = stream.GroupState
+
+// NewStreamGroup opens a standalone session group for the given
+// patterns (no engine: no deadline or retry semantics). For the
+// hardened serving path use Engine.OpenStreamGroup, which returns an
+// EngineStreamGroup.
+func NewStreamGroup(patterns [][]byte, cfg StreamGroupConfig) (*StreamGroup, error) {
+	return stream.NewGroup(patterns, cfg)
+}
+
+// EngineStreamGroup is a session group served through an Engine:
+// group mutations run under the engine's deadline and transient-retry
+// policy (a failed mutation touched no spine, so re-issue is safe for
+// all P patterns at once), and per-pattern queries hit a
+// per-generation prepared session cache. Open one with
+// Engine.OpenStreamGroup.
+type EngineStreamGroup = query.StreamGroup
+
 // Streaming stages and counters for StageRecorder consumers.
 const (
-	StageStreamAppend     = obs.StageStreamAppend     // one append/slide end to end
-	StageStreamCompose    = obs.StageStreamCompose    // one spine composition
-	CounterStreamAppends  = obs.CounterStreamAppends  // appends_total (slides included)
-	CounterStreamComposes = obs.CounterStreamComposes // compositions_total
+	StageStreamAppend          = obs.StageStreamAppend          // one append/slide end to end
+	StageStreamCompose         = obs.StageStreamCompose         // one spine composition
+	StageStreamGroupAppend     = obs.StageStreamGroupAppend     // one group append/slide end to end
+	StageStreamGroupFanout     = obs.StageStreamGroupFanout     // class solves + per-spine surgery
+	CounterStreamAppends       = obs.CounterStreamAppends       // appends_total (slides included)
+	CounterStreamComposes      = obs.CounterStreamComposes      // compositions_total
+	CounterStreamGroupAppends  = obs.CounterStreamGroupAppends  // stream_group_appends
+	CounterStreamGroupPatterns = obs.CounterStreamGroupPatterns // stream_group_patterns
+	CounterStreamGroupShares   = obs.CounterStreamGroupShares   // stream_group_shares
 )
 
 // UnmarshalKernel decodes a kernel previously encoded with
@@ -513,8 +554,10 @@ func Calibrate(g CalibrationGrid, rec *StageRecorder, log io.Writer) *TuningProf
 func LoadProfile(path string) (*TuningProfile, error) { return tune.Load(path) }
 
 // LoadProfileOrDefault loads the profile at path, falling back to the
-// untuned defaults on any failure; the returned profile is never nil
-// and a non-nil error means "running untuned".
+// untuned defaults on any failure — including a profile calibrated for
+// a different GOOS/GOARCH; the returned profile is never nil and a
+// non-nil error means "running untuned". A CPU count mismatch alone
+// keeps the profile (check TuningProfile.Stale for the warning).
 func LoadProfileOrDefault(path string, rec *StageRecorder) (*TuningProfile, error) {
 	return tune.LoadOrDefault(path, rec)
 }
@@ -531,4 +574,5 @@ const (
 	CounterTuneProbes       = obs.CounterTuneProbes       // tune_probes
 	CounterProfileLoads     = obs.CounterProfileLoads     // profile_loads
 	CounterProfileFallbacks = obs.CounterProfileFallbacks // profile_fallbacks
+	CounterProfileStale     = obs.CounterProfileStale     // profile_stale (host-identity mismatches)
 )
